@@ -1,0 +1,40 @@
+"""Fig. 1a and Fig. 1b — the motivation experiments (paper Section II)."""
+
+import numpy as np
+
+from repro.experiments.fig1 import run_fig1a, run_fig1b
+
+
+class BenchFig1a:
+    """Fig. 1a: machine A's node-to-node bandwidth matrix."""
+
+    def test_fig1a(self, benchmark, once, capsys):
+        result = once(benchmark, run_fig1a)
+        with capsys.disabled():
+            print()
+            print(result.render())
+            print(f"max relative error vs paper: {result.max_relative_error:.1%}")
+        # The matrix-calibrated machine reproduces Fig. 1a exactly.
+        assert result.max_relative_error < 0.01
+        # Asymmetry properties the paper highlights.
+        m = result.measured
+        assert m.max() / m.min() > 5.0
+        assert not np.allclose(m, m.T)  # direction-dependent links
+
+
+class BenchFig1b:
+    """Fig. 1b: baselines vs the offline n-dimensional search oracle."""
+
+    def test_fig1b(self, benchmark, once, capsys):
+        result = once(benchmark, lambda: run_fig1b(search_iterations=60))
+        with capsys.disabled():
+            print()
+            print(result.render())
+        for bench, series in result.normalized.items():
+            # Oracle is the best placement for every benchmark...
+            assert series["first-touch"] >= 1.0 - 1e-6, bench
+            assert series["uniform-workers"] >= 1.0 - 1e-6, bench
+            assert series["uniform-all"] >= 1.0 - 1e-6, bench
+            # ...and the standard policies leave real performance on the
+            # table (the paper's motivating claim).
+            assert series["uniform-workers"] > 1.1, bench

@@ -1,0 +1,53 @@
+"""Fig. 3 — machine B co-scheduled (3a/3b) and stand-alone at the optimal
+worker count on both machines (3c/3d)."""
+
+from repro.experiments.fig3 import run_fig3ab, run_fig3cd
+
+
+class BenchFig3ab:
+    def test_fig3ab(self, benchmark, once, capsys):
+        result = once(benchmark, run_fig3ab)
+        with capsys.disabled():
+            print()
+            print(result.render())
+
+        for n, by_bench in result.speedups.items():
+            for bench, series in by_bench.items():
+                # On the mildly-asymmetric machine B, BWAP must stay
+                # competitive with the best baseline...
+                best_baseline = max(
+                    series["first-touch"],
+                    series["uniform-workers"],
+                    series["uniform-all"],
+                    series["autonuma"],
+                )
+                assert series["bwap"] > best_baseline * 0.85, (n, bench)
+                # ...and BWAP ~ BWAP-uniform (low asymmetry: the canonical
+                # tuner contributes little, Section IV-B).
+                ratio = series["bwap"] / series["bwap-uniform"]
+                assert 0.8 < ratio < 1.25, (n, bench)
+
+
+class BenchFig3cd:
+    def test_fig3cd(self, benchmark, once, capsys):
+        result = once(benchmark, run_fig3cd)
+        with capsys.disabled():
+            print()
+            print(result.render())
+            print("chosen worker counts:", result.worker_counts)
+
+        # The chosen parallelism matches the paper's Fig. 3c/d labels
+        # exactly: SP.B peaks at 1 node, SC at 4 nodes on machine A, and
+        # the scalable benchmarks use the whole machine.
+        assert result.worker_counts["machine-A"] == {
+            "SC": 4, "OC": 8, "ON": 8, "SP.B": 1, "FT.C": 8,
+        }
+        assert result.worker_counts["machine-B"] == {
+            "SC": 4, "OC": 4, "ON": 4, "SP.B": 1, "FT.C": 4,
+        }
+
+        # Stand-alone at the optimal worker count: BWAP only helps when the
+        # app does not span the whole machine; it must never lose badly.
+        for machine_name, by_bench in result.speedups.items():
+            for bench, series in by_bench.items():
+                assert series["bwap"] > 0.9, (machine_name, bench)

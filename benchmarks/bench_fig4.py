@@ -1,0 +1,30 @@
+"""Fig. 4 — accuracy and overhead of the DWP iterative search."""
+
+import numpy as np
+
+from repro.experiments.fig4 import run_fig4
+
+
+class BenchFig4:
+    def test_fig4(self, benchmark, once, capsys):
+        result = once(benchmark, run_fig4)
+        with capsys.disabled():
+            print()
+            print(result.render())
+            for n, panel in sorted(result.panels.items()):
+                print(f"{n}W: tuner landed {panel.tuner_error_steps:.0f} step(s) "
+                      f"from the static optimum")
+
+        for n, panel in result.panels.items():
+            stalls = [p.stall for p in panel.sweep]
+            times = [p.exec_time_s for p in panel.sweep]
+            # Stall rate is strongly correlated with execution time
+            # (the property the hill climb relies on, Section IV-B).
+            corr = float(np.corrcoef(stalls, times)[0, 1])
+            assert corr > 0.9, (n, corr)
+            # The DWP tuner finds the optimum within 1 step (paper claim).
+            assert panel.tuner_error_steps <= 1.0 + 1e-6, n
+            # The curve is essentially convex: no interior point is worse
+            # than both extremes.
+            t = times
+            assert min(t) < max(t[0], t[-1]) + 1e-9, n

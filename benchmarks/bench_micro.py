@@ -1,0 +1,73 @@
+"""Micro-benchmarks of the library's hot paths.
+
+Unlike the figure/table benches (one-shot experiment regenerations), these
+time the core primitives with proper repetition: the contention solver, the
+profiling pass, weighted page-assignment generation, Algorithm 1 planning,
+and a full static simulation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.interleave import algorithm1_subranges
+from repro.core.search import analytic_execution_time
+from repro.engine import Application, Simulator
+from repro.memsim import UniformAll
+from repro.memsim.contention import proportional_profile, solve
+from repro.memsim.flows import Consumer
+from repro.memsim.interleave import weighted_assignment
+from repro.topology import machine_a
+from repro.workloads import streamcluster
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return machine_a()
+
+
+class BenchSolver:
+    def test_solve_8_consumers(self, benchmark, machine):
+        rng = np.random.default_rng(0)
+        consumers = []
+        for i, node in enumerate(range(8)):
+            mix = rng.random(8)
+            mix /= mix.sum()
+            consumers.append(Consumer(f"a{i}", node, 8, mix, float("inf")))
+        alloc = benchmark(solve, machine, consumers)
+        assert len(alloc.rates) == 8
+
+    def test_proportional_profile_4_workers(self, benchmark, machine):
+        profile = benchmark(proportional_profile, machine, [0, 1, 2, 3])
+        assert profile.shape == (8, 8)
+
+
+class BenchPlacementPrimitives:
+    def test_weighted_assignment_1m_pages(self, benchmark):
+        w = np.array([0.3, 0.25, 0.2, 0.1, 0.05, 0.04, 0.03, 0.03])
+        a = benchmark(weighted_assignment, 1_000_000, w)
+        assert len(a) == 1_000_000
+
+    def test_algorithm1_plan(self, benchmark):
+        w = np.array([0.3, 0.25, 0.2, 0.1, 0.05, 0.04, 0.03, 0.03])
+        plan = benchmark(algorithm1_subranges, 1_000_000, w)
+        assert sum(length for _, length, _ in plan) == 1_000_000
+
+
+class BenchSimulation:
+    def test_static_simulation(self, benchmark, machine):
+        def run():
+            sim = Simulator(machine)
+            sim.add_app(
+                Application("a", streamcluster(), machine, (0, 1), policy=UniformAll())
+            )
+            return sim.run().execution_time("a")
+
+        t = benchmark(run)
+        assert t > 0
+
+    def test_analytic_evaluation(self, benchmark, machine):
+        w = np.full(8, 1 / 8)
+        t = benchmark(
+            analytic_execution_time, machine, streamcluster(), (0, 1), w
+        )
+        assert t > 0

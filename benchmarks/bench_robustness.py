@@ -1,0 +1,26 @@
+"""Workload-space robustness: BWAP as a safe default (paper Section IV-A).
+
+The paper claims BWAP "achieves the best performance or, with less
+favourable applications, performs comparably to the best solution". This
+bench quantifies "comparably" over a population of random workloads whose
+write share, private share, latency sensitivity and scalability all
+violate the canonical assumptions.
+"""
+
+from repro.experiments.robustness import run_robustness
+
+
+class BenchRobustness:
+    def test_bwap_never_loses_badly(self, benchmark, once, capsys):
+        result = once(benchmark, lambda: run_robustness(num_workloads=20))
+        with capsys.disabled():
+            print()
+            print(result.render())
+
+        # BWAP wins or ties for most of the workload space...
+        assert result.win_fraction >= 0.5
+        # ...and where it loses (latency-bound cases whose optimum is the
+        # local-only placement), the search cost stays bounded.
+        assert result.worst_ratio < 1.20
+        # It also wins big somewhere: the asymmetric machine rewards it.
+        assert min(result.ratios()) < 0.85

@@ -1,0 +1,44 @@
+"""Design-space sensitivity: asymmetry and worker-set-size sweeps.
+
+These make explicit two relationships the paper's two-machine evaluation
+can only show as endpoints: BWAP's advantage over uniform interleaving
+grows with interconnect asymmetry, and decays toward parity as the worker
+set approaches the machine size.
+"""
+
+from repro.experiments.sensitivity import run_asymmetry_sweep, run_worker_sweep
+
+
+class BenchAsymmetrySweep:
+    def test_gain_grows_with_asymmetry(self, benchmark, once, capsys):
+        result = once(benchmark, run_asymmetry_sweep)
+        with capsys.disabled():
+            print()
+            print(result.render())
+
+        gains = result.gains_vs_uniform_all()
+        amplitudes = sorted(gains)
+        # Monotone (within noise): each doubling of asymmetry increases
+        # BWAP's edge over uniform interleaving.
+        assert gains[amplitudes[-1]] > gains[amplitudes[0]] * 1.2
+        for lo, hi in zip(amplitudes, amplitudes[1:]):
+            assert gains[hi] >= gains[lo] - 0.03
+        # On a near-symmetric machine the weighted placement buys little —
+        # the paper's machine-B story.
+        assert gains[amplitudes[0]] < 1.15
+
+
+class BenchWorkerSweep:
+    def test_gain_decays_with_worker_count(self, benchmark, once, capsys):
+        result = once(benchmark, run_worker_sweep)
+        with capsys.disabled():
+            print()
+            print(result.render())
+
+        gains = result.gains()
+        # The worker/non-worker dichotomy fades: 1W gain dominates, and by
+        # the full machine BWAP is at best at parity with uniform-all
+        # (paper Section IV-A's central trend).
+        assert gains[1] > gains[2] > gains[8] - 0.02
+        assert gains[1] > 1.3
+        assert abs(gains[4] - 1.0) < 0.1

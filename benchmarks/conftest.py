@@ -1,0 +1,26 @@
+"""Benchmark-harness configuration.
+
+Every benchmark regenerates one of the paper's figures or tables and
+prints the same rows/series the paper reports. Experiments are expensive
+end-to-end simulations, so each runs exactly once per benchmark
+(``rounds=1``) — the timing numbers locate the cost of each experiment,
+and the printed tables plus in-bench assertions carry the reproduction
+content. Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once():
+    """Fixture returning the single-shot benchmark runner."""
+    return run_once

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Visualise the DWP landscape and the tuner's path through it (Fig. 4).
+
+Sweeps static DWP values for Streamcluster on machine A, printing the
+normalised stall rate and execution time at each point (the paper's Fig. 4
+curves, as ASCII), then runs BWAP's on-line search and overlays its
+trajectory — demonstrating the two properties the search relies on: the
+stall curve is convex and tracks execution time, and the climb lands within
+one step of the static optimum.
+
+Run:  python examples/dwp_tuning_curve.py
+"""
+
+from repro.experiments.fig4 import run_fig4
+
+
+def bar(value: float, width: int = 40) -> str:
+    return "#" * max(1, round(value * width))
+
+
+def main() -> None:
+    result = run_fig4(worker_counts=(1, 2))
+    for n, panel in sorted(result.panels.items()):
+        print(f"=== Streamcluster, machine A, {n} worker node(s), co-scheduled ===")
+        print(f"{'DWP':>5}  {'exec time':>9}  curve")
+        max_t = max(p.exec_time_s for p in panel.sweep)
+        for p in panel.sweep:
+            marker = ""
+            if abs(p.dwp - panel.static_optimal_dwp) < 1e-9:
+                marker += "  <- static optimum"
+            if abs(p.dwp - panel.bwap_final_dwp) < 1e-9:
+                marker += "  <- BWAP landed here"
+            print(f"{p.dwp:>5.0%}  {p.exec_time_s:>8.1f}s  "
+                  f"{bar(p.exec_time_s / max_t)}{marker}")
+        print(f"\nBWAP trajectory (time, DWP, measured stall rate):")
+        for t, dwp, stall in panel.bwap_trajectory:
+            print(f"  t={t:6.1f}s  DWP={dwp:>4.0%}  stall={stall:.3e}")
+        print(f"tuner error: {panel.tuner_error_steps:.0f} step(s) "
+              f"from the static optimum (paper reports at most 1)\n")
+
+
+if __name__ == "__main__":
+    main()

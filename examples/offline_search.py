@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""The oracle vs BWAP: how close does the 2-stage approximation get?
+
+Runs the paper's offline N-dimensional hill-climbing search (15+ hours on
+real hardware, seconds here) for each benchmark, then BWAP's canonical +
+DWP pipeline, and reports the gap. This is the paper's core engineering
+claim: collapsing the N-dimensional problem to one DWP dimension loses
+little while being usable on-line.
+
+Run:  python examples/offline_search.py
+"""
+
+import numpy as np
+
+from repro import (
+    Application,
+    CanonicalTuner,
+    Simulator,
+    bwap_init,
+    machine_a,
+    paper_benchmarks,
+    pick_worker_nodes,
+    search_optimal_placement,
+)
+from repro.memsim import WeightedInterleave
+
+
+def main() -> None:
+    machine = machine_a()
+    workers = pick_worker_nodes(machine, 2)
+    canonical = CanonicalTuner(machine)
+
+    print(f"machine A, workers {workers}\n")
+    print(f"{'bench':>6}  {'oracle':>8}  {'bwap':>8}  {'gap':>6}  oracle weights")
+    for wl in paper_benchmarks():
+        search = search_optimal_placement(machine, wl, workers, max_iterations=60)
+
+        # Validate the oracle's weights with a full simulated run.
+        sim = Simulator(machine)
+        sim.add_app(
+            Application("app", wl, machine, workers,
+                        policy=WeightedInterleave(search.weights))
+        )
+        t_oracle = sim.run().execution_time("app")
+
+        sim = Simulator(machine)
+        app = sim.add_app(Application("app", wl, machine, workers, policy=None))
+        bwap_init(sim, app, canonical_tuner=canonical)
+        t_bwap = sim.run().execution_time("app")
+
+        gap = (t_bwap / t_oracle - 1.0) * 100
+        print(f"{wl.name:>6}  {t_oracle:>7.1f}s  {t_bwap:>7.1f}s  {gap:>5.1f}%  "
+              f"{np.round(search.weights, 2)}")
+    print("\n(gap = BWAP's execution time over the oracle's; the oracle needs")
+    print(" hundreds of offline runs per application, BWAP needs none)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` requires ``wheel`` for PEP 660 editable installs with
+this setuptools version; on offline machines without it, run
+``python setup.py develop`` instead. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,138 @@
+"""BWAP — Bandwidth-Aware Page Placement in NUMA Systems (IPDPS 2020).
+
+A complete reproduction of Gureya et al.'s BWAP on a simulated NUMA
+substrate: machine topologies (including the paper's machines A and B),
+a page-granular memory system with ``mbind`` semantics and a contention-
+aware bandwidth solver, the baseline placement policies, and BWAP itself
+(canonical tuner + on-line DWP tuner + Algorithm 1 weighted interleaving).
+
+Quickstart::
+
+    from repro import machine_a, Simulator, Application, streamcluster
+    from repro import CanonicalTuner, bwap_init, pick_worker_nodes
+
+    machine = machine_a()
+    workers = pick_worker_nodes(machine, 2)
+    sim = Simulator(machine)
+    app = sim.add_app(Application("app", streamcluster(), machine, workers))
+    tuner = bwap_init(sim, app, canonical_tuner=CanonicalTuner(machine))
+    result = sim.run()
+    print(result.execution_time("app"), tuner.final_dwp)
+"""
+
+from repro.topology import (
+    Link,
+    Machine,
+    NUMANode,
+    dual_socket,
+    from_bandwidth_matrix,
+    fully_connected,
+    machine_a,
+    machine_b,
+    mesh,
+    ring,
+)
+from repro.memsim import (
+    AddressSpace,
+    AutoNUMA,
+    Consumer,
+    FirstTouch,
+    MCModel,
+    PlacementContext,
+    PlacementPolicy,
+    Segment,
+    SegmentKind,
+    UniformAll,
+    UniformWorkers,
+    WeightedInterleave,
+    mbind,
+    policy_by_name,
+    solve,
+)
+from repro.perf import CounterBank, LatencyModel, MeasurementConfig
+from repro.workloads import (
+    WorkloadSpec,
+    canonical_stream,
+    ft_c,
+    ocean_cp,
+    ocean_ncp,
+    paper_benchmarks,
+    sp_b,
+    streamcluster,
+    swaptions,
+)
+from repro.engine import Application, SimResult, Simulator, Tuner, pick_worker_nodes
+from repro.core import (
+    BWAPConfig,
+    CanonicalTuner,
+    CoScheduledDWPTuner,
+    DWPTuner,
+    bwap_init,
+    combine_weights,
+    search_optimal_placement,
+)
+from repro.oslib import LibNuma, Process
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # topology
+    "Link",
+    "Machine",
+    "NUMANode",
+    "dual_socket",
+    "from_bandwidth_matrix",
+    "fully_connected",
+    "machine_a",
+    "machine_b",
+    "mesh",
+    "ring",
+    # memsim
+    "AddressSpace",
+    "AutoNUMA",
+    "Consumer",
+    "FirstTouch",
+    "MCModel",
+    "PlacementContext",
+    "PlacementPolicy",
+    "Segment",
+    "SegmentKind",
+    "UniformAll",
+    "UniformWorkers",
+    "WeightedInterleave",
+    "mbind",
+    "policy_by_name",
+    "solve",
+    # perf
+    "CounterBank",
+    "LatencyModel",
+    "MeasurementConfig",
+    # workloads
+    "WorkloadSpec",
+    "canonical_stream",
+    "ft_c",
+    "ocean_cp",
+    "ocean_ncp",
+    "paper_benchmarks",
+    "sp_b",
+    "streamcluster",
+    "swaptions",
+    # engine
+    "Application",
+    "SimResult",
+    "Simulator",
+    "Tuner",
+    "pick_worker_nodes",
+    # core (BWAP)
+    "BWAPConfig",
+    "CanonicalTuner",
+    "CoScheduledDWPTuner",
+    "DWPTuner",
+    "bwap_init",
+    "combine_weights",
+    "search_optimal_placement",
+    # oslib
+    "LibNuma",
+    "Process",
+    "__version__",
+]

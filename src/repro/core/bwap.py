@@ -1,0 +1,107 @@
+"""BWAP facade: the ``bw-interleaved`` policy and ``BWAP-init`` entry point.
+
+Wires the two components together the way the paper's library does: the
+application is deployed, calls :func:`bwap_init` once its shared structures
+exist, and from then on the library owns page placement — initial canonical
+placement plus on-line DWP adaptation — transparently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.canonical import CanonicalTuner
+from repro.core.dwp import CoScheduledDWPTuner, DWPTuner
+from repro.engine.app import Application
+from repro.engine.sim import Simulator
+from repro.perf.counters import MeasurementConfig
+
+
+@dataclass(frozen=True)
+class BWAPConfig:
+    """Tunables of the BWAP library (paper defaults from Section IV).
+
+    Attributes
+    ----------
+    step:
+        DWP increment per iteration (x = 10%).
+    measurement:
+        Stall-sampling parameters (n = 20, c = 5, t = 0.2 s).
+    mode:
+        Weighted-interleave back end: ``"user"`` (portable Algorithm 1,
+        the paper's default for the evaluation) or ``"kernel"``.
+    use_canonical:
+        When False, start from the uniform-all distribution instead of the
+        canonical one — the paper's *BWAP-uniform* ablation.
+    warmup_s:
+        Settle time after each migration before measuring.
+    tolerance:
+        Relative stall improvement required to keep climbing.
+    """
+
+    step: float = 0.10
+    measurement: MeasurementConfig = field(default_factory=MeasurementConfig)
+    mode: str = "user"
+    use_canonical: bool = True
+    warmup_s: float = 0.5
+    tolerance: float = 0.02
+
+
+def canonical_or_uniform(
+    app: Application,
+    canonical_tuner: Optional[CanonicalTuner],
+    config: BWAPConfig,
+) -> np.ndarray:
+    """The starting weight distribution BWAP departs from."""
+    n = app.machine.num_nodes
+    if not config.use_canonical:
+        return np.full(n, 1.0 / n)
+    if canonical_tuner is None:
+        canonical_tuner = CanonicalTuner(app.machine)
+    return canonical_tuner.weights(app.worker_nodes)
+
+
+def bwap_init(
+    sim: Simulator,
+    app: Application,
+    *,
+    canonical_tuner: Optional[CanonicalTuner] = None,
+    config: BWAPConfig = BWAPConfig(),
+    high_priority_app_id: Optional[str] = None,
+) -> DWPTuner:
+    """The paper's ``BWAP-init``: activate BWAP for an application.
+
+    Must be called after the application allocated its shared structures
+    (here: after construction, before ``sim.run``). Returns the attached
+    DWP tuner, whose trajectory and final DWP the experiments inspect.
+
+    Parameters
+    ----------
+    high_priority_app_id:
+        When given, uses the co-scheduled 2-stage variant guided first by
+        that application's stall rate (Section III-B3).
+    """
+    if app.policy is not None:
+        raise ValueError(
+            f"application {app.app_id!r} already has a placement policy; "
+            "BWAP owns placement — construct the app with policy=None"
+        )
+    canonical = canonical_or_uniform(app, canonical_tuner, config)
+    common = dict(
+        step=config.step,
+        config=config.measurement,
+        mode=config.mode,
+        warmup_s=config.warmup_s,
+        tolerance=config.tolerance,
+    )
+    if high_priority_app_id is not None:
+        tuner: DWPTuner = CoScheduledDWPTuner(
+            app, canonical, high_priority_app_id, **common
+        )
+    else:
+        tuner = DWPTuner(app, canonical, **common)
+    sim.add_tuner(tuner)
+    return tuner

@@ -1,0 +1,295 @@
+"""The DWP tuner (paper Section III-B): on-line 1-D weight adaptation.
+
+The *data-to-worker proximity* factor collapses the N-dimensional weight
+tuning problem to one dimension: DWP = 0 keeps the canonical distribution,
+DWP = 1 moves all pages onto the worker nodes; in between, mass shifts from
+the non-worker to the worker set while the canonical *relative* weights
+within each set are preserved (the legitimacy of this reduction is
+Observation 3 of Section II).
+
+The tuner hill-climbs DWP on the measured stall rate: place pages at
+DWP = 0 when the application calls ``BWAP-init``, then repeatedly measure
+(n samples of t seconds, trimmed by c — Section III-B1), increase DWP by a
+constant step while the stall rate keeps decreasing, and stop at the first
+non-improvement. Each increase is enforced by incremental page migration —
+a *narrowing* re-interleave, the direction ``mbind`` supports.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.interleave import apply_weighted_placement
+from repro.engine.app import Application
+from repro.engine.sim import Simulator, Tuner
+from repro.perf.counters import MeasurementConfig
+
+
+def combine_weights(
+    canonical: Sequence[float], worker_nodes: Sequence[int], dwp: float
+) -> np.ndarray:
+    """Blend canonical weights with a data-to-worker-proximity factor.
+
+    Worker mass grows from its canonical value (DWP = 0) to 1 (DWP = 1);
+    within the worker and non-worker sets the canonical proportions are
+    kept (Section III-B: "retaining the canonical weight relations").
+    """
+    c = np.asarray(canonical, dtype=float)
+    if (c < 0).any() or c.sum() <= 0:
+        raise ValueError("canonical weights must be non-negative with positive sum")
+    c = c / c.sum()
+    if not 0.0 <= dwp <= 1.0:
+        raise ValueError(f"DWP must be in [0, 1], got {dwp}")
+    workers = sorted(set(worker_nodes))
+    if not workers:
+        raise ValueError("worker_nodes must not be empty")
+    for w in workers:
+        if not 0 <= w < len(c):
+            raise ValueError(f"worker node {w} outside weight vector of {len(c)}")
+
+    mask = np.zeros(len(c), dtype=bool)
+    mask[workers] = True
+    m0 = float(c[mask].sum())
+    if m0 <= 0:
+        raise ValueError("canonical weights place nothing on the worker nodes")
+    target_mass = m0 + dwp * (1.0 - m0)
+
+    out = np.zeros_like(c)
+    out[mask] = c[mask] / m0 * target_mass
+    rest = 1.0 - m0
+    if rest > 1e-12:
+        out[~mask] = c[~mask] / rest * (1.0 - target_mass)
+    return out
+
+
+@dataclass(frozen=True)
+class DWPStep:
+    """One decision point in the tuner's trajectory."""
+
+    time_s: float
+    dwp: float
+    stall_rate: float
+    accepted: bool
+
+
+class _Phase(enum.Enum):
+    WAIT_MEASURE = "wait-measure"
+    DONE = "done"
+
+
+class DWPTuner(Tuner):
+    """Stand-alone DWP hill climbing for one application.
+
+    Parameters
+    ----------
+    app:
+        Target application. It should be created with ``policy=None`` so
+        the tuner owns placement (paper: the app links the library and
+        calls ``BWAP-init`` after allocating its shared structures).
+    canonical_weights:
+        Canonical distribution for the app's worker set. Pass the uniform
+        distribution to obtain the paper's *BWAP-uniform* ablation.
+    step:
+        DWP increment per iteration (paper: x = 10%).
+    config:
+        Stall-measurement parameters (paper: n = 20, c = 5, t = 0.2 s).
+    mode:
+        Weighted-interleave back end: ``"user"`` (Algorithm 1) or
+        ``"kernel"``.
+    warmup_s:
+        Settling time after a placement change before measuring.
+    tolerance:
+        Relative stall-rate improvement below which the climb stops.
+    """
+
+    def __init__(
+        self,
+        app: Application,
+        canonical_weights: Sequence[float],
+        *,
+        step: float = 0.10,
+        config: MeasurementConfig = MeasurementConfig(),
+        mode: str = "user",
+        warmup_s: float = 0.5,
+        tolerance: float = 0.0,
+    ):
+        if not 0 < step <= 1:
+            raise ValueError(f"step must be in (0, 1], got {step}")
+        if warmup_s < 0:
+            raise ValueError(f"warmup must be non-negative, got {warmup_s}")
+        if tolerance < 0:
+            raise ValueError(f"tolerance must be non-negative, got {tolerance}")
+        self.app = app
+        self.canonical = np.asarray(canonical_weights, dtype=float)
+        self.step = step
+        self.config = config
+        self.mode = mode
+        self.warmup_s = warmup_s
+        self.tolerance = tolerance
+
+        self.dwp = 0.0
+        self.trajectory: List[DWPStep] = []
+        self._phase = _Phase.WAIT_MEASURE
+        self._next_action = 0.0
+        self._prev_stall: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # Tuner interface
+    # ------------------------------------------------------------------ #
+
+    def on_start(self, sim: Simulator) -> None:
+        """BWAP-init: place pages at the canonical distribution (DWP = 0)."""
+        self._apply(sim, self.dwp)
+        self._next_action = sim.now + self.warmup_s + self.config.wall_time_s
+
+    def on_epoch(self, sim: Simulator) -> None:
+        if self._phase is _Phase.DONE:
+            return
+        if sim.now < self._next_action or self.app.finished:
+            if self.app.finished:
+                self._phase = _Phase.DONE
+            return
+
+        stall = sim.sample_stall_rate(self.app.app_id, self.config)
+        if self._prev_stall is None:
+            # Baseline at DWP = 0 recorded; try the first increase.
+            self.trajectory.append(DWPStep(sim.now, self.dwp, stall, accepted=True))
+            self._prev_stall = stall
+            self._raise_dwp(sim)
+            return
+
+        improved = stall < self._prev_stall * (1.0 - self.tolerance)
+        self.trajectory.append(DWPStep(sim.now, self.dwp, stall, accepted=improved))
+        if improved and self.dwp < 1.0 - 1e-9:
+            self._prev_stall = stall
+            self._raise_dwp(sim)
+        else:
+            # Local optimum found (or the scale is exhausted). The reverse
+            # migration is unsupported by mbind, so we keep the current DWP
+            # — at most one step past the optimum (paper Section IV-B).
+            self._phase = _Phase.DONE
+
+    def is_settled(self) -> bool:
+        return self._phase is _Phase.DONE
+
+    @property
+    def final_dwp(self) -> float:
+        """The DWP the tuner settled on (meaningful once settled)."""
+        return self.dwp
+
+    @property
+    def iterations(self) -> int:
+        """Number of decision points taken so far."""
+        return len(self.trajectory)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _raise_dwp(self, sim: Simulator) -> None:
+        self.dwp = min(1.0, self.dwp + self.step)
+        self._apply(sim, self.dwp)
+        self._next_action = sim.now + self.warmup_s + self.config.wall_time_s
+
+    def _apply(self, sim: Simulator, dwp: float) -> None:
+        weights = combine_weights(self.canonical, self.app.worker_nodes, dwp)
+        outcome = apply_weighted_placement(self.app.space, weights, mode=self.mode)
+        if outcome.pages_moved:
+            sim.charge_migration(self.app, outcome.pages_moved)
+
+
+class CoScheduledDWPTuner(DWPTuner):
+    """The 2-stage co-scheduled variant (paper Section III-B3).
+
+    Stage 1 is guided by the *high-priority* application A: B's DWP is
+    raised while A's stall rate keeps dropping (B's pages are leaving A's
+    nodes). Once A stabilises, the reached DWP is a lower bound, and
+    stage 2 proceeds as the ordinary climb guided by B's own stall rate.
+
+    Parameters are as in :class:`DWPTuner`, plus:
+
+    high_priority_app_id:
+        The co-located application whose performance must not degrade.
+    stability_tolerance:
+        Relative improvement of A's stall below which stage 1 ends.
+    min_abs_improvement:
+        Minimum *absolute* improvement of A's stall fraction (stalled
+        cycles per cycle) for stage 1 to continue. A barely-stalled
+        high-priority app (like Swaptions) shows large relative but
+        negligible absolute changes; without this floor, stage 1 would
+        chase noise-level gains and drive B's DWP far past the point where
+        A has genuinely stabilised.
+    """
+
+    def __init__(
+        self,
+        app: Application,
+        canonical_weights: Sequence[float],
+        high_priority_app_id: str,
+        *,
+        stability_tolerance: float = 0.02,
+        min_abs_improvement: float = 0.005,
+        **kwargs,
+    ):
+        super().__init__(app, canonical_weights, **kwargs)
+        if stability_tolerance < 0:
+            raise ValueError(
+                f"stability_tolerance must be non-negative, got {stability_tolerance}"
+            )
+        if min_abs_improvement < 0:
+            raise ValueError(
+                f"min_abs_improvement must be non-negative, got {min_abs_improvement}"
+            )
+        self.high_priority_app_id = high_priority_app_id
+        self.stability_tolerance = stability_tolerance
+        self.min_abs_improvement = min_abs_improvement
+        self._stage = 1
+        self._prev_a_stall: Optional[float] = None
+
+    def on_epoch(self, sim: Simulator) -> None:
+        if self._stage == 2:
+            super().on_epoch(sim)
+            return
+        if self._phase is _Phase.DONE:
+            return
+        if sim.now < self._next_action or self.app.finished:
+            if self.app.finished:
+                self._phase = _Phase.DONE
+            return
+
+        a_stall = sim.sample_stall_rate(self.high_priority_app_id, self.config)
+        if self._prev_a_stall is None:
+            self._prev_a_stall = a_stall
+            self.trajectory.append(DWPStep(sim.now, self.dwp, a_stall, accepted=True))
+            self._raise_dwp(sim)
+            return
+        # Stage 1 continues only while A improves both relatively and by a
+        # non-trivial absolute amount of stalled cycles.
+        a_app = sim.app(self.high_priority_app_id)
+        freq_hz = (
+            sim.machine.node(a_app.worker_nodes[0]).cores[0].frequency_ghz * 1e9
+        )
+        gain = self._prev_a_stall - a_stall
+        improving = (
+            a_stall < self._prev_a_stall * (1.0 - self.stability_tolerance)
+            and gain > self.min_abs_improvement * freq_hz
+        )
+        self.trajectory.append(DWPStep(sim.now, self.dwp, a_stall, accepted=improving))
+        if improving and self.dwp < 1.0 - 1e-9:
+            self._prev_a_stall = a_stall
+            self._raise_dwp(sim)
+        else:
+            # A has stabilised: the current DWP is the lower bound; hand
+            # over to the ordinary search driven by B's stall rate.
+            self._stage = 2
+            self._prev_stall = None
+            self._next_action = sim.now  # measure B immediately
+
+    @property
+    def stage(self) -> int:
+        """Current stage (1 = guided by A, 2 = guided by B)."""
+        return self._stage

@@ -1,0 +1,24 @@
+"""Execution engine: applications, thread placement, epoch simulation."""
+
+from repro.engine.threads import (
+    pick_worker_nodes,
+    pin_threads,
+    threads_per_node,
+    worker_set_score,
+)
+from repro.engine.app import Application
+from repro.engine.phased import PhasedApplication
+from repro.engine.sim import AppTelemetry, SimResult, Simulator, Tuner
+
+__all__ = [
+    "pick_worker_nodes",
+    "pin_threads",
+    "threads_per_node",
+    "worker_set_score",
+    "Application",
+    "PhasedApplication",
+    "AppTelemetry",
+    "SimResult",
+    "Simulator",
+    "Tuner",
+]

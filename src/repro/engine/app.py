@@ -1,0 +1,242 @@
+"""A running application instance.
+
+Binds together a workload model, a deployment (worker nodes + pinned
+threads), an address space laid out by a placement policy, and the
+execution-progress state the simulator advances. The per-worker traffic
+*mix* — the bridge between page placement and the contention solver — is
+derived here: shared accesses follow the shared segments' placement
+distribution, private accesses follow the placement of the node's own
+threads' private segments (the paper's Section IV-A discusses exactly this
+decomposition when analysing OC/ON/FT.C).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.memsim.flows import Consumer
+from repro.memsim.pages import PAGE_SIZE, AddressSpace, Segment, SegmentKind
+from repro.memsim.policies import PlacementContext, PlacementPolicy, PlacementStats
+from repro.engine.threads import pin_threads, threads_per_node
+from repro.topology.machine import Machine
+from repro.workloads.base import WorkloadSpec
+
+
+class Application:
+    """One deployed application in the simulator.
+
+    Parameters
+    ----------
+    app_id:
+        Unique identifier within a simulation.
+    workload:
+        Demand model.
+    machine:
+        Machine the app runs on.
+    worker_nodes:
+        Nodes hosting its threads.
+    num_threads:
+        Total threads; defaults to fully populating the worker nodes.
+    policy:
+        Initial (and possibly adaptive) placement policy; ``None`` leaves
+        the address space unplaced so a tuner can own placement entirely.
+    looping:
+        When True the application restarts upon completion — used for the
+        co-scheduled scenario's continuously-running high-priority app.
+    page_size:
+        Backing page size in bytes (4 KB default; 2 MiB models transparent
+        huge pages, the integration the paper defers as future work).
+    """
+
+    def __init__(
+        self,
+        app_id: str,
+        workload: WorkloadSpec,
+        machine: Machine,
+        worker_nodes: Sequence[int],
+        *,
+        num_threads: Optional[int] = None,
+        policy: Optional[PlacementPolicy] = None,
+        looping: bool = False,
+        page_size: int = PAGE_SIZE,
+    ):
+        self.app_id = app_id
+        self._workload = workload
+        self.machine = machine
+        self.worker_nodes: Tuple[int, ...] = tuple(worker_nodes)
+        self.thread_nodes = pin_threads(machine, self.worker_nodes, num_threads)
+        self.num_threads = len(self.thread_nodes)
+        self.ctx = PlacementContext(
+            num_nodes=machine.num_nodes,
+            worker_nodes=self.worker_nodes,
+            thread_nodes=self.thread_nodes,
+            init_node=self.worker_nodes[0],
+        )
+        self.policy = policy
+        self.looping = looping
+
+        self.space = AddressSpace(machine.num_nodes, page_size=page_size)
+        self.space.map_segment("shared", workload.shared_bytes, SegmentKind.SHARED)
+        if workload.private_bytes_per_thread > 0:
+            for t in range(self.num_threads):
+                self.space.map_segment(
+                    f"private-{t}",
+                    workload.private_bytes_per_thread,
+                    SegmentKind.PRIVATE,
+                    owner_thread=t,
+                )
+        if policy is not None:
+            if hasattr(policy, "validate_workload"):
+                policy.validate_workload(workload.write_fraction)
+            policy.place(self.space, self.ctx)
+
+        counts = threads_per_node(self.thread_nodes)
+        self._threads_on: Dict[int, int] = counts
+        total = workload.work_bytes
+        self._share: Dict[int, float] = {
+            w: total * counts[w] / self.num_threads for w in self.worker_nodes
+        }
+        self._remaining: Dict[int, float] = dict(self._share)
+        self.finished = False
+        self.finish_time: Optional[float] = None
+        self.start_time: float = 0.0
+        self.completions: int = 0
+        #: Extra seconds of stall the app still owes (migration costs).
+        self.pending_penalty_s: float = 0.0
+        self.epoch_index: int = 0
+
+    @property
+    def workload(self) -> WorkloadSpec:
+        """The demand model currently in effect.
+
+        A property so that :class:`~repro.engine.phased.PhasedApplication`
+        can swap specs as execution progresses.
+        """
+        return self._workload
+
+    # ------------------------------------------------------------------ #
+    # Placement-derived distributions
+    # ------------------------------------------------------------------ #
+
+    def shared_distribution(self) -> np.ndarray:
+        """Placement distribution of the shared segments."""
+        segs = self.space.segments_of_kind(SegmentKind.SHARED)
+        return self.space.placement_distribution(segs)
+
+    def private_distribution(self, node: int) -> np.ndarray:
+        """Placement distribution of private pages owned by threads on ``node``."""
+        segs = [
+            s
+            for s in self.space.segments_of_kind(SegmentKind.PRIVATE)
+            if self.ctx.node_of_thread(s.owner_thread) == node
+        ]
+        if not segs:
+            return np.zeros(self.machine.num_nodes)
+        return self.space.placement_distribution(segs)
+
+    def traffic_mix(self, node: int) -> np.ndarray:
+        """Per-source-node traffic fractions for the threads on ``node``.
+
+        With a replicating policy (``replicates_shared``), each worker's
+        shared reads are served by its local replica instead of the
+        primary copy's placement.
+        """
+        if getattr(self.policy, "replicates_shared", False):
+            shared = np.zeros(self.machine.num_nodes)
+            shared[node] = 1.0
+        else:
+            shared = self.shared_distribution()
+        private = self.private_distribution(node)
+        pf = self.workload.private_fraction
+        if private.sum() == 0:
+            # No private pages (or none placed yet): all traffic is shared.
+            pf = 0.0
+        if shared.sum() == 0:
+            if private.sum() == 0:
+                return np.zeros(self.machine.num_nodes)
+            return private
+        mix = (1.0 - pf) * shared + pf * private
+        total = mix.sum()
+        return mix / total if total > 0 else mix
+
+    # ------------------------------------------------------------------ #
+    # Demand and progress
+    # ------------------------------------------------------------------ #
+
+    def threads_on(self, node: int) -> int:
+        """Threads pinned on one worker node."""
+        return self._threads_on.get(node, 0)
+
+    def node_demand(self, node: int) -> float:
+        """Full-speed demand (GB/s) of the threads on ``node``; zero once
+        that worker's share of the work is done."""
+        if self.finished or self._remaining.get(node, 0.0) <= 0.0:
+            return 0.0
+        return self.workload.node_demand_gbps(
+            self.threads_on(node), self.num_threads, len(self.worker_nodes)
+        )
+
+    def consumers(self) -> List[Consumer]:
+        """Current consumer set for the contention solver."""
+        out: List[Consumer] = []
+        for w in self.worker_nodes:
+            demand = self.node_demand(w)
+            mix = self.traffic_mix(w)
+            out.append(
+                Consumer(
+                    app_id=self.app_id,
+                    node=w,
+                    threads=self.threads_on(w),
+                    mix=mix if demand > 0 else np.zeros(self.machine.num_nodes),
+                    demand=demand,
+                    write_fraction=self.workload.write_fraction,
+                )
+            )
+        return out
+
+    def remaining(self, node: int) -> float:
+        """Bytes of traffic the worker at ``node`` still must perform."""
+        return self._remaining.get(node, 0.0)
+
+    def advance(self, node: int, bytes_done: float) -> None:
+        """Credit progress to one worker."""
+        if bytes_done < 0:
+            raise ValueError(f"bytes_done must be non-negative, got {bytes_done}")
+        if node not in self._remaining:
+            raise KeyError(f"{node} is not a worker node of {self.app_id}")
+        self._remaining[node] = max(0.0, self._remaining[node] - bytes_done)
+
+    def check_finished(self, now: float) -> bool:
+        """Mark completion; looping apps restart immediately."""
+        if self.finished:
+            return True
+        if all(r <= 0.0 for r in self._remaining.values()):
+            self.completions += 1
+            if self.looping:
+                self._remaining = dict(self._share)
+                return False
+            self.finished = True
+            self.finish_time = now
+            return True
+        return False
+
+    @property
+    def execution_time(self) -> Optional[float]:
+        """Wall time from start to completion (None while running)."""
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.start_time
+
+    def charge_penalty(self, seconds: float) -> None:
+        """Charge stall time (e.g. page-migration cost) to the app."""
+        if seconds < 0:
+            raise ValueError(f"penalty must be non-negative, got {seconds}")
+        self.pending_penalty_s += seconds
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Application({self.app_id!r}, workload={self.workload.name}, "
+            f"workers={self.worker_nodes}, threads={self.num_threads})"
+        )

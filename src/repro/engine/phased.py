@@ -1,0 +1,71 @@
+"""Applications whose memory behaviour changes over time (paper §VI).
+
+:class:`PhasedApplication` drives a
+:class:`~repro.workloads.phases.PhasedWorkload`: the active
+:class:`~repro.workloads.base.WorkloadSpec` is selected by how much of the
+total work has completed, so demand, private/shared split, write fraction
+and latency sensitivity all shift at phase boundaries — exactly the
+situation the paper's stable-phase assumption excludes and its future-work
+section targets.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.engine.app import Application
+from repro.memsim.policies import PlacementPolicy
+from repro.topology.machine import Machine
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.phases import PhasedWorkload
+
+
+class PhasedApplication(Application):
+    """An application executing a sequence of stable phases.
+
+    The address space is shaped by the *first* phase's dataset sizes (real
+    applications allocate once and change their access pattern, not their
+    allocations); total work is the first spec's ``work_bytes``.
+    """
+
+    def __init__(
+        self,
+        app_id: str,
+        phased: PhasedWorkload,
+        machine: Machine,
+        worker_nodes: Sequence[int],
+        *,
+        num_threads: Optional[int] = None,
+        policy: Optional[PlacementPolicy] = None,
+        looping: bool = False,
+    ):
+        self.phased = phased
+        first = phased.phases[0].spec
+        super().__init__(
+            app_id,
+            first,
+            machine,
+            worker_nodes,
+            num_threads=num_threads,
+            policy=policy,
+            looping=looping,
+        )
+        self._total_work = sum(self._share.values())
+
+    @property
+    def workload(self) -> WorkloadSpec:
+        """The spec of the phase currently executing."""
+        return self.phased.phase_at(self.done_fraction).spec
+
+    @property
+    def done_fraction(self) -> float:
+        """Fraction of the total work completed so far."""
+        remaining = sum(self._remaining.values())
+        if self._total_work <= 0:
+            return 1.0
+        return min(1.0, max(0.0, 1.0 - remaining / self._total_work))
+
+    @property
+    def current_phase_index(self) -> int:
+        """Index of the active phase."""
+        return self.phased.phases.index(self.phased.phase_at(self.done_fraction))

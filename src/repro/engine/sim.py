@@ -1,0 +1,332 @@
+"""Epoch-based execution simulator.
+
+Advances one or more applications through simulated time. Each epoch the
+simulator (1) collects every application's current traffic (demand + mix
+from its page placement), (2) solves the machine-wide bandwidth allocation,
+(3) converts per-worker achieved rates and loaded latencies into slowdowns
+and stall rates, (4) credits progress, and (5) gives attached tuners a
+chance to observe counters and re-place pages (whose migration cost is
+charged back to the application as stall time).
+
+Static scenarios fast-forward between events, so policy-comparison
+experiments are cheap; adaptive scenarios (DWP tuner, autonuma) run at the
+configured epoch granularity.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.app import Application
+from repro.memsim.contention import Allocation, solve
+from repro.memsim.controller import DEFAULT_MC_MODEL, MCModel
+from repro.memsim.migration import MigrationEngine, MigrationStats
+from repro.perf.counters import CounterBank, MeasurementConfig
+from repro.perf.latency import DEFAULT_LATENCY_MODEL, LatencyModel
+from repro.perf.profiler import TrafficSample
+from repro.perf.stalls import WorkerLoad, slowdown, stall_fraction
+from repro.topology.machine import Machine
+
+#: Guard against infinite loops in pathological configurations.
+_MAX_EPOCHS = 2_000_000
+
+
+class Tuner(abc.ABC):
+    """On-line placement tuner attached to a simulation.
+
+    BWAP's DWP tuner (and its co-scheduled variant) implement this
+    interface in :mod:`repro.core`.
+    """
+
+    @abc.abstractmethod
+    def on_start(self, sim: "Simulator") -> None:
+        """Called once before the first epoch."""
+
+    @abc.abstractmethod
+    def on_epoch(self, sim: "Simulator") -> None:
+        """Called after counters are updated each epoch."""
+
+    def is_settled(self) -> bool:
+        """True once the tuner will make no further placement changes."""
+        return False
+
+
+@dataclass
+class AppTelemetry:
+    """Accumulated per-application observations."""
+
+    traffic: List[TrafficSample] = field(default_factory=list)
+    stall_time_product: float = 0.0
+    throughput_time_product: float = 0.0
+    active_time: float = 0.0
+
+    @property
+    def mean_stall_fraction(self) -> float:
+        """Time-weighted average stall fraction over the app's lifetime."""
+        if self.active_time == 0:
+            return 0.0
+        return self.stall_time_product / self.active_time
+
+    @property
+    def mean_throughput_gbps(self) -> float:
+        """Time-weighted average achieved traffic rate."""
+        if self.active_time == 0:
+            return 0.0
+        return self.throughput_time_product / self.active_time
+
+
+@dataclass
+class SimResult:
+    """Outcome of a simulation run."""
+
+    sim_time: float
+    execution_times: Dict[str, float]
+    telemetry: Dict[str, AppTelemetry]
+    migration: Dict[str, MigrationStats]
+    final_allocation: Optional[Allocation]
+
+    def execution_time(self, app_id: str) -> float:
+        """Execution time of one application (raises if it never finished)."""
+        t = self.execution_times.get(app_id)
+        if t is None:
+            raise KeyError(f"application {app_id!r} did not finish")
+        return t
+
+
+class Simulator:
+    """Co-schedules applications on one machine and advances time."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        *,
+        mc_model: MCModel = DEFAULT_MC_MODEL,
+        latency_model: LatencyModel = DEFAULT_LATENCY_MODEL,
+        counters: Optional[CounterBank] = None,
+        migration: Optional[MigrationEngine] = None,
+        epoch_s: float = 0.25,
+        seed: int = 1234,
+    ):
+        if epoch_s <= 0:
+            raise ValueError(f"epoch length must be positive, got {epoch_s}")
+        self.machine = machine
+        self.mc_model = mc_model
+        self.latency_model = latency_model
+        self.counters = counters if counters is not None else CounterBank(seed=seed)
+        self.migration = migration if migration is not None else MigrationEngine()
+        self.epoch_s = epoch_s
+        self.now = 0.0
+        self._apps: Dict[str, Application] = {}
+        self._tuners: List[Tuner] = []
+        self._telemetry: Dict[str, AppTelemetry] = {}
+        self._last_allocation: Optional[Allocation] = None
+
+    # ------------------------------------------------------------------ #
+    # Setup
+    # ------------------------------------------------------------------ #
+
+    def add_app(self, app: Application) -> Application:
+        """Register an application (its start time is the current sim time)."""
+        if app.app_id in self._apps:
+            raise ValueError(f"duplicate application id {app.app_id!r}")
+        if app.machine is not self.machine:
+            raise ValueError(f"application {app.app_id!r} was built for another machine")
+        app.start_time = self.now
+        self._apps[app.app_id] = app
+        self._telemetry[app.app_id] = AppTelemetry()
+        return app
+
+    def add_tuner(self, tuner: Tuner) -> Tuner:
+        """Attach an on-line tuner."""
+        self._tuners.append(tuner)
+        return tuner
+
+    def app(self, app_id: str) -> Application:
+        """Look up a registered application."""
+        try:
+            return self._apps[app_id]
+        except KeyError:
+            raise KeyError(f"no application {app_id!r} in simulator") from None
+
+    @property
+    def apps(self) -> Tuple[Application, ...]:
+        """All registered applications."""
+        return tuple(self._apps.values())
+
+    # ------------------------------------------------------------------ #
+    # Tuner services
+    # ------------------------------------------------------------------ #
+
+    def sample_stall_rate(
+        self, app_id: str, config: MeasurementConfig = MeasurementConfig()
+    ) -> float:
+        """Noisy trimmed-mean stall measurement (the tuners' only signal)."""
+        return self.counters.sample_stall_rate(app_id, config)
+
+    def charge_migration(self, app: Application, pages_moved: int) -> float:
+        """Account a page-migration batch and stall the app for its cost."""
+        cost = self.migration.record(
+            app.app_id, pages_moved, page_size=app.space.page_size
+        )
+        app.charge_penalty(cost)
+        return cost
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+
+    def run(self, max_time: float = 36000.0) -> SimResult:
+        """Advance until every non-looping app finishes (or ``max_time``)."""
+        if max_time <= 0:
+            raise ValueError(f"max_time must be positive, got {max_time}")
+        if not self._apps:
+            raise RuntimeError("no applications registered")
+        for tuner in self._tuners:
+            tuner.on_start(self)
+
+        deadline = self.now + max_time
+        for _ in range(_MAX_EPOCHS):
+            if self._all_done():
+                break
+            if self.now >= deadline:
+                break
+            self._step(deadline)
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"simulation exceeded {_MAX_EPOCHS} epochs")
+
+        return SimResult(
+            sim_time=self.now,
+            execution_times={
+                aid: app.execution_time
+                for aid, app in self._apps.items()
+                if app.execution_time is not None
+            },
+            telemetry=dict(self._telemetry),
+            migration={aid: self.migration.stats(aid) for aid in self._apps},
+            final_allocation=self._last_allocation,
+        )
+
+    def _all_done(self) -> bool:
+        trackable = [a for a in self._apps.values() if not a.looping]
+        return bool(trackable) and all(a.finished for a in trackable)
+
+    def _step(self, deadline: float) -> None:
+        """Advance one epoch."""
+        apps = [a for a in self._apps.values() if not a.finished]
+
+        # Adaptive policies (e.g. autonuma) act at epoch granularity.
+        policy_moved = 0
+        for app in apps:
+            if app.policy is not None:
+                stats = app.policy.step(app.space, app.ctx, app.epoch_index)
+                if stats.pages_moved:
+                    self.charge_migration(app, stats.pages_moved)
+                    policy_moved += stats.pages_moved
+            app.epoch_index += 1
+
+        consumers = []
+        consumer_by_key = {}
+        for app in apps:
+            for c in app.consumers():
+                consumers.append(c)
+                consumer_by_key[c.key()] = c
+        alloc = solve(self.machine, consumers, self.mc_model)
+        self._last_allocation = alloc
+
+        # Per-worker slowdowns and progress rates.
+        rates: Dict[Tuple[str, int], float] = {}
+        stalls: Dict[Tuple[str, int], float] = {}
+        for app in apps:
+            for w in app.worker_nodes:
+                demand = app.node_demand(w)
+                if demand <= 0:
+                    continue
+                achieved = alloc.rate(app.app_id, w)
+                lat = self.latency_model.consumer_latency_ns(
+                    self.machine, consumer_by_key[(app.app_id, w)], alloc
+                )
+                base = self.latency_model.local_baseline_ns(self.machine, w)
+                load = WorkerLoad(
+                    demand_gbps=demand,
+                    achieved_gbps=max(achieved, 1e-12),
+                    avg_latency_ns=lat,
+                    base_latency_ns=base,
+                    latency_weight=app.workload.latency_weight,
+                )
+                s = slowdown(load)
+                # Useful progress: achieved traffic, discounted by the
+                # share wasted on cross-node coherence (node_efficiency).
+                useful = app.workload.node_efficiency(len(app.worker_nodes))
+                rates[(app.app_id, w)] = demand / s * useful * 1e9  # bytes/s
+                stalls[(app.app_id, w)] = stall_fraction(load)
+
+        # Choose the time step: hit the next completion exactly; when the
+        # scenario is fully static (no tuners, no policy migrations), jump
+        # straight to it.
+        static = policy_moved == 0 and all(t.is_settled() for t in self._tuners)
+        dt = float("inf") if static else self.epoch_s
+        for app in apps:
+            horizon_shift = app.pending_penalty_s
+            for w in app.worker_nodes:
+                rate = rates.get((app.app_id, w), 0.0)
+                rem = app.remaining(w)
+                if rate > 0 and rem > 0:
+                    dt = min(dt, rem / rate + horizon_shift)
+        dt = min(dt, max(deadline - self.now, 0.0))
+        if not np.isfinite(dt) or dt <= 0:
+            dt = min(self.epoch_s, max(deadline - self.now, 1e-6))
+
+        # Progress, minus any pending stall penalty (migration costs).
+        for app in apps:
+            pay = min(app.pending_penalty_s, dt)
+            app.pending_penalty_s -= pay
+            effective = dt - pay
+            for w in app.worker_nodes:
+                rate = rates.get((app.app_id, w), 0.0)
+                if rate > 0 and effective > 0:
+                    app.advance(w, rate * effective)
+
+        self.now += dt
+
+        # Counters + telemetry.
+        for app in apps:
+            active = [
+                (w, stalls[(app.app_id, w)])
+                for w in app.worker_nodes
+                if (app.app_id, w) in stalls
+            ]
+            if active:
+                weights = np.array([app.threads_on(w) for w, _ in active], dtype=float)
+                vals = np.array([s for _, s in active])
+                frac = float(np.average(vals, weights=weights))
+            else:
+                frac = 0.0
+            freq = self.machine.node(app.worker_nodes[0]).cores[0].frequency_ghz
+            throughput = alloc.app_total_rate(app.app_id)
+            self.counters.update(
+                app.app_id,
+                stall_rate=frac * freq * 1e9,
+                throughput_gbps=throughput,
+                per_node_stall={w: s for w, s in active},
+            )
+            tele = self._telemetry[app.app_id]
+            tele.stall_time_product += frac * dt
+            tele.throughput_time_product += throughput * dt
+            tele.active_time += dt
+            reads, writes = app.workload.read_write_split(throughput)
+            tele.traffic.append(
+                TrafficSample(
+                    duration_s=dt,
+                    read_gbps=reads,
+                    write_gbps=writes,
+                    private_fraction=app.workload.private_fraction,
+                )
+            )
+            app.check_finished(self.now)
+
+        for tuner in self._tuners:
+            tuner.on_epoch(self)

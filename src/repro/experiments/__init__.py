@@ -1,0 +1,97 @@
+"""Experiment harness: one runner per figure/table of the paper.
+
+See DESIGN.md for the experiment index. Each ``run_*`` function returns a
+structured result object with a ``render()`` method producing the rows the
+paper reports; ``bwap-repro <experiment>`` drives them from the shell.
+"""
+
+from repro.experiments.common import (
+    ALL_POLICIES,
+    BASELINE_POLICIES,
+    RunOutcome,
+    get_canonical,
+    get_machine,
+    optimal_worker_count,
+    policy_comparison,
+    run_scenario,
+    speedups_vs,
+)
+from repro.experiments.fig1 import Fig1aResult, Fig1bResult, run_fig1a, run_fig1b
+from repro.experiments.fig2 import Fig2Result, run_fig2
+from repro.experiments.fig3 import Fig3abResult, Fig3cdResult, run_fig3ab, run_fig3cd
+from repro.experiments.fig4 import Fig4Result, run_fig4
+from repro.experiments.table1 import PAPER_TABLE1, Table1Result, run_table1
+from repro.experiments.table2 import PAPER_TABLE2, Table2Result, run_table2
+from repro.experiments.extensions import (
+    AdaptiveStudyResult,
+    HybridStudyResult,
+    SplitStudyResult,
+    run_adaptive_study,
+    run_hybrid_study,
+    run_split_study,
+)
+from repro.experiments.robustness import RobustnessResult, run_robustness
+from repro.experiments.sensitivity import (
+    AsymmetrySweepResult,
+    WorkerSweepResult,
+    asymmetric_machine,
+    run_asymmetry_sweep,
+    run_worker_sweep,
+)
+from repro.experiments.ablations import (
+    CanonicalAblation,
+    InterleaveAblation,
+    OverheadResult,
+    run_canonical_ablation,
+    run_interleave_ablation,
+    run_overhead,
+)
+
+__all__ = [
+    "ALL_POLICIES",
+    "BASELINE_POLICIES",
+    "RunOutcome",
+    "get_canonical",
+    "get_machine",
+    "optimal_worker_count",
+    "policy_comparison",
+    "run_scenario",
+    "speedups_vs",
+    "Fig1aResult",
+    "Fig1bResult",
+    "run_fig1a",
+    "run_fig1b",
+    "Fig2Result",
+    "run_fig2",
+    "Fig3abResult",
+    "Fig3cdResult",
+    "run_fig3ab",
+    "run_fig3cd",
+    "Fig4Result",
+    "run_fig4",
+    "PAPER_TABLE1",
+    "Table1Result",
+    "run_table1",
+    "PAPER_TABLE2",
+    "Table2Result",
+    "run_table2",
+    "CanonicalAblation",
+    "InterleaveAblation",
+    "OverheadResult",
+    "AdaptiveStudyResult",
+    "HybridStudyResult",
+    "SplitStudyResult",
+    "run_adaptive_study",
+    "run_hybrid_study",
+    "run_split_study",
+    "RobustnessResult",
+    "run_robustness",
+    "AsymmetrySweepResult",
+    "WorkerSweepResult",
+    "asymmetric_machine",
+    "run_asymmetry_sweep",
+    "run_worker_sweep",
+    "run_canonical_ablation",
+    "run_interleave_ablation",
+    "run_overhead",
+]

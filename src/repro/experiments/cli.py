@@ -1,0 +1,157 @@
+"""Command-line entry point: regenerate any figure or table.
+
+``bwap-repro fig1a | fig1b | fig2 | fig3ab | fig3cd | fig4 | table1 |
+table2 | ablations | all``
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+
+def _fig1a() -> str:
+    from repro.experiments.fig1 import run_fig1a
+
+    return run_fig1a().render()
+
+
+def _fig1b() -> str:
+    from repro.experiments.fig1 import run_fig1b
+
+    return run_fig1b().render()
+
+
+def _fig2() -> str:
+    from repro.experiments.fig2 import run_fig2
+
+    return run_fig2().render()
+
+
+def _fig3ab() -> str:
+    from repro.experiments.fig3 import run_fig3ab
+
+    return run_fig3ab().render()
+
+
+def _fig3cd() -> str:
+    from repro.experiments.fig3 import run_fig3cd
+
+    return run_fig3cd().render()
+
+
+def _fig4() -> str:
+    from repro.experiments.fig4 import run_fig4
+
+    return run_fig4().render()
+
+
+def _table1() -> str:
+    from repro.experiments.table1 import run_table1
+
+    return run_table1().render()
+
+
+def _table2() -> str:
+    from repro.experiments.table2 import run_table2
+
+    return run_table2().render()
+
+
+def _extensions() -> str:
+    from repro.experiments.extensions import (
+        run_adaptive_study,
+        run_hybrid_study,
+        run_split_study,
+    )
+
+    return "\n\n".join(
+        [
+            run_split_study().render(),
+            run_adaptive_study().render(),
+            run_hybrid_study().render(),
+        ]
+    )
+
+
+def _sensitivity() -> str:
+    from repro.experiments.sensitivity import run_asymmetry_sweep, run_worker_sweep
+
+    return run_asymmetry_sweep().render() + "\n\n" + run_worker_sweep().render()
+
+
+def _robustness() -> str:
+    from repro.experiments.robustness import run_robustness
+
+    return run_robustness().render()
+
+
+def _machines() -> str:
+    from repro.topology import describe, hybrid_dram_nvm, machine_a, machine_b
+
+    return "\n\n".join(
+        describe(m) for m in (machine_a(), machine_b(), hybrid_dram_nvm())
+    )
+
+
+def _ablations() -> str:
+    from repro.experiments.ablations import (
+        run_canonical_ablation,
+        run_interleave_ablation,
+        run_overhead,
+    )
+
+    parts = [
+        run_canonical_ablation().render(),
+        run_interleave_ablation().render(),
+        run_overhead().render(),
+    ]
+    return "\n\n".join(parts)
+
+
+EXPERIMENTS: Dict[str, Callable[[], str]] = {
+    "fig1a": _fig1a,
+    "fig1b": _fig1b,
+    "fig2": _fig2,
+    "fig3ab": _fig3ab,
+    "fig3cd": _fig3cd,
+    "fig4": _fig4,
+    "table1": _table1,
+    "table2": _table2,
+    "ablations": _ablations,
+    "extensions": _extensions,
+    "machines": _machines,
+    "sensitivity": _sensitivity,
+    "robustness": _robustness,
+}
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="bwap-repro",
+        description="Regenerate the BWAP paper's figures and tables on the "
+        "simulated NUMA substrate.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which figure/table to regenerate",
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        t0 = time.perf_counter()
+        output = EXPERIMENTS[name]()
+        dt = time.perf_counter() - t0
+        print(f"=== {name} ({dt:.1f}s) ===")
+        print(output)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,249 @@
+"""Shared machinery for the paper's experiments.
+
+Every figure/table runner builds on :func:`run_scenario`: deploy a
+benchmark with one placement policy — stand-alone or co-scheduled against
+Swaptions, exactly as Section IV does — and measure its execution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import BWAPConfig, CanonicalTuner, bwap_init, combine_weights
+from repro.engine import Application, Simulator, pick_worker_nodes
+from repro.memsim import (
+    AutoNUMA,
+    CarrefourLike,
+    FirstTouch,
+    UniformAll,
+    UniformWorkers,
+    WeightedInterleave,
+)
+from repro.topology import Machine, machine_a, machine_b
+from repro.workloads import WorkloadSpec, swaptions
+
+#: Policy labels in the paper's legend order.
+BASELINE_POLICIES: Tuple[str, ...] = (
+    "first-touch",
+    "uniform-workers",
+    "uniform-all",
+    "autonuma",
+)
+ALL_POLICIES: Tuple[str, ...] = BASELINE_POLICIES + ("bwap-uniform", "bwap")
+
+_MACHINES: Dict[str, Machine] = {}
+_CANONICAL: Dict[str, CanonicalTuner] = {}
+
+
+def get_machine(name: str) -> Machine:
+    """The paper's machine A or B (cached singletons)."""
+    key = name.upper()
+    if key not in _MACHINES:
+        if key == "A":
+            _MACHINES[key] = machine_a()
+        elif key == "B":
+            _MACHINES[key] = machine_b()
+        else:
+            raise KeyError(f"unknown machine {name!r}; use 'A' or 'B'")
+    return _MACHINES[key]
+
+
+def get_canonical(machine: Machine) -> CanonicalTuner:
+    """Cached canonical tuner for a machine (profiles are reused across
+    experiments, as the paper's install-time step intends)."""
+    if machine.name not in _CANONICAL:
+        _CANONICAL[machine.name] = CanonicalTuner(machine)
+    return _CANONICAL[machine.name]
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """Everything an experiment needs from one scenario run."""
+
+    exec_time_s: float
+    mean_stall: float
+    throughput_gbps: float
+    pages_moved: int
+    final_dwp: Optional[float] = None
+    tuner_iterations: Optional[int] = None
+
+    def speedup_over(self, baseline: "RunOutcome") -> float:
+        """Speedup of this run relative to a baseline run."""
+        return baseline.exec_time_s / self.exec_time_s
+
+
+def _make_policy(name: str, static_weights: Optional[np.ndarray]):
+    if name == "first-touch":
+        return FirstTouch()
+    if name == "uniform-workers":
+        return UniformWorkers()
+    if name == "uniform-all":
+        return UniformAll()
+    if name == "autonuma":
+        return AutoNUMA()
+    if name == "carrefour":
+        return CarrefourLike()
+    if name == "weighted":
+        if static_weights is None:
+            raise ValueError("policy 'weighted' requires static_weights")
+        return WeightedInterleave(static_weights)
+    if name in ("bwap", "bwap-uniform"):
+        return None  # the tuner owns placement
+    raise KeyError(f"unknown policy {name!r}; known: {ALL_POLICIES + ('weighted',)}")
+
+
+def run_scenario(
+    machine: Machine,
+    workload: WorkloadSpec,
+    num_workers: int,
+    policy: str,
+    *,
+    coscheduled: bool = False,
+    num_threads: Optional[int] = None,
+    static_weights: Optional[np.ndarray] = None,
+    static_dwp: Optional[float] = None,
+    bwap_config: Optional[BWAPConfig] = None,
+    canonical: Optional[CanonicalTuner] = None,
+    seed: int = 42,
+    max_time: float = 36000.0,
+) -> RunOutcome:
+    """Deploy ``workload`` under one placement policy and measure it.
+
+    Parameters
+    ----------
+    policy:
+        One of ``first-touch``, ``uniform-workers``, ``uniform-all``,
+        ``autonuma``, ``bwap-uniform``, ``bwap``, ``weighted`` (requires
+        ``static_weights``), or ``bwap-static`` (requires ``static_dwp``:
+        canonical weights shifted by a fixed DWP, no on-line search — used
+        for the Fig. 4 static sweep).
+    coscheduled:
+        When True, Swaptions (the non-memory-intensive app A) runs on all
+        remaining nodes, continuously, with its pages placed locally; the
+        measured app B uses the co-scheduled BWAP variant.
+    """
+    workers = pick_worker_nodes(machine, num_workers)
+    if canonical is None:
+        canonical = get_canonical(machine)
+    sim = Simulator(machine, seed=seed)
+
+    a_id: Optional[str] = None
+    if coscheduled:
+        rest = tuple(n for n in machine.node_ids if n not in workers)
+        if not rest:
+            raise ValueError(
+                f"co-scheduling needs free nodes; {num_workers} workers fill the machine"
+            )
+        a_id = "A"
+        sim.add_app(
+            Application(
+                a_id, swaptions(), machine, rest, policy=FirstTouch(), looping=True
+            )
+        )
+
+    if policy == "bwap-static":
+        if static_dwp is None:
+            raise ValueError("policy 'bwap-static' requires static_dwp")
+        weights = combine_weights(canonical.weights(workers), workers, static_dwp)
+        app_policy = WeightedInterleave(weights)
+    else:
+        app_policy = _make_policy(policy, static_weights)
+
+    app = sim.add_app(
+        Application(
+            "B", workload, machine, workers, num_threads=num_threads, policy=app_policy
+        )
+    )
+
+    tuner = None
+    if policy in ("bwap", "bwap-uniform"):
+        config = bwap_config or BWAPConfig(use_canonical=(policy == "bwap"))
+        if config.use_canonical != (policy == "bwap"):
+            config = BWAPConfig(
+                step=config.step,
+                measurement=config.measurement,
+                mode=config.mode,
+                use_canonical=(policy == "bwap"),
+                warmup_s=config.warmup_s,
+                tolerance=config.tolerance,
+            )
+        tuner = bwap_init(
+            sim,
+            app,
+            canonical_tuner=canonical,
+            config=config,
+            high_priority_app_id=a_id,
+        )
+
+    result = sim.run(max_time=max_time)
+    tele = result.telemetry["B"]
+    return RunOutcome(
+        exec_time_s=result.execution_time("B"),
+        mean_stall=tele.mean_stall_fraction,
+        throughput_gbps=tele.mean_throughput_gbps,
+        pages_moved=result.migration["B"].pages_moved,
+        final_dwp=None if tuner is None else tuner.final_dwp,
+        tuner_iterations=None if tuner is None else tuner.iterations,
+    )
+
+
+def policy_comparison(
+    machine: Machine,
+    workload: WorkloadSpec,
+    num_workers: int,
+    policies: Sequence[str] = ALL_POLICIES,
+    *,
+    coscheduled: bool = False,
+    num_threads: Optional[int] = None,
+    seed: int = 42,
+) -> Dict[str, RunOutcome]:
+    """Run a benchmark under several policies on the same scenario."""
+    return {
+        p: run_scenario(
+            machine,
+            workload,
+            num_workers,
+            p,
+            coscheduled=coscheduled,
+            num_threads=num_threads,
+            seed=seed,
+        )
+        for p in policies
+    }
+
+
+def speedups_vs(
+    outcomes: Dict[str, RunOutcome], reference: str = "uniform-workers"
+) -> Dict[str, float]:
+    """Normalise a comparison to one policy (the paper plots speedup vs
+    uniform-workers)."""
+    base = outcomes[reference]
+    return {p: o.speedup_over(base) for p, o in outcomes.items()}
+
+
+def optimal_worker_count(
+    machine: Machine,
+    workload: WorkloadSpec,
+    candidates: Sequence[int],
+    *,
+    policy: str = "uniform-all",
+    seed: int = 42,
+) -> int:
+    """The worker count minimising execution time under a given policy
+    (the paper's "optimal parallelism level", Fig. 3c/d).
+
+    The sweep defaults to uniform-all: a rational user tunes parallelism
+    under a placement that does not artificially bottleneck the candidate
+    deployments (on machine A, uniform-workers at 4W is throttled by the
+    weak inter-worker links, which would distort the comparison).
+    """
+    best_n, best_t = None, float("inf")
+    for n in candidates:
+        out = run_scenario(machine, workload, n, policy, seed=seed)
+        if out.exec_time_s < best_t - 1e-9:
+            best_n, best_t = n, out.exec_time_s
+    assert best_n is not None
+    return best_n

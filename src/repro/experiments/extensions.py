@@ -1,0 +1,174 @@
+"""Runners for the Section VI extension studies.
+
+Not part of the paper's evaluation — these measure the future-work
+features this reproduction implements on top of it (split per-page-class
+placement, adaptive re-tuning, hybrid DRAM/NVM support) so the CLI and
+benchmark harness can regenerate them alongside the figures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.core import (
+    AdaptiveBWAP,
+    BWAPConfig,
+    CanonicalTuner,
+    bwap_init,
+    split_bwap_init,
+)
+from repro.core.dwp import DWPTuner
+from repro.engine import Application, PhasedApplication, Simulator, pick_worker_nodes
+from repro.experiments.report import format_table
+from repro.memsim import UniformAll, UniformWorkers
+from repro.perf.counters import MeasurementConfig
+from repro.topology import hybrid_dram_nvm, machine_a, machine_b
+from repro.workloads import (
+    canonical_stream,
+    ft_c,
+    ocean_cp,
+    ocean_ncp,
+    streamcluster,
+    two_phase,
+)
+
+#: Fast sampling for the short extension studies.
+QUICK = MeasurementConfig(n=8, c=2, t=0.1)
+
+
+@dataclass
+class SplitStudyResult:
+    """Baseline BWAP vs split placement per private-heavy benchmark."""
+
+    #: benchmark -> (bwap time, split time)
+    times: Dict[str, Tuple[float, float]]
+
+    def render(self) -> str:
+        rows = [
+            [name, tb, ts, tb / ts] for name, (tb, ts) in self.times.items()
+        ]
+        return format_table(
+            ["bench", "bwap (s)", "bwap-split (s)", "split speedup"],
+            rows,
+            title="Split per-page-class placement (Section VI), machine A, 2 workers",
+        )
+
+
+def run_split_study(num_workers: int = 2) -> SplitStudyResult:
+    """Baseline BWAP vs split placement on the private-heavy benchmarks."""
+    machine = machine_a()
+    ct = CanonicalTuner(machine)
+    workers = pick_worker_nodes(machine, num_workers)
+    times: Dict[str, Tuple[float, float]] = {}
+    for wl in (ocean_cp(), ocean_ncp(), ft_c()):
+        sim = Simulator(machine)
+        app = sim.add_app(Application("a", wl, machine, workers, policy=None))
+        bwap_init(
+            sim, app, canonical_tuner=ct,
+            config=BWAPConfig(measurement=QUICK, warmup_s=0.2),
+        )
+        t_base = sim.run().execution_time("a")
+
+        sim = Simulator(machine)
+        app = sim.add_app(Application("a", wl, machine, workers, policy=None))
+        split_bwap_init(sim, app, ct, config=QUICK, warmup_s=0.2)
+        t_split = sim.run().execution_time("a")
+        times[wl.name] = (t_base, t_split)
+    return SplitStudyResult(times=times)
+
+
+@dataclass
+class AdaptiveStudyResult:
+    """One-shot vs adaptive BWAP on a phase-changing application."""
+
+    oneshot_s: float
+    adaptive_s: float
+    retunes: int
+
+    @property
+    def speedup(self) -> float:
+        return self.oneshot_s / self.adaptive_s
+
+    def render(self) -> str:
+        return format_table(
+            ["variant", "exec time (s)", "re-tunes"],
+            [
+                ["one-shot bwap", self.oneshot_s, 0],
+                ["adaptive bwap", self.adaptive_s, self.retunes],
+            ],
+            title=(
+                "Adaptive re-tuning (Section VI): SC-then-OC two-phase app, "
+                f"machine B, 1 worker (speedup {self.speedup:.2f}x)"
+            ),
+        )
+
+
+def run_adaptive_study() -> AdaptiveStudyResult:
+    """One-shot vs adaptive BWAP on a two-phase application."""
+    machine = machine_b()
+    ct = CanonicalTuner(machine)
+    sc = dataclasses.replace(streamcluster(), work_bytes=700e9)
+    oc = dataclasses.replace(ocean_cp(), work_bytes=700e9)
+
+    def deploy():
+        pw = two_phase("sc-then-oc", sc, oc, split=0.5)
+        sim = Simulator(machine)
+        app = sim.add_app(PhasedApplication("p", pw, machine, (0,), policy=None))
+        return sim, app
+
+    sim, app = deploy()
+    sim.add_tuner(
+        DWPTuner(app, ct.weights((0,)), mode="kernel", config=QUICK, warmup_s=0.2)
+    )
+    t_oneshot = sim.run().execution_time("p")
+
+    sim, app = deploy()
+    tuner = sim.add_tuner(
+        AdaptiveBWAP(app, ct.weights((0,)), measurement=QUICK, warmup_s=0.2)
+    )
+    t_adaptive = sim.run().execution_time("p")
+    return AdaptiveStudyResult(
+        oneshot_s=t_oneshot, adaptive_s=t_adaptive, retunes=tuner.retunes
+    )
+
+
+@dataclass
+class HybridStudyResult:
+    """Placement comparison on the DRAM+NVM machine."""
+
+    times: Dict[str, float]
+
+    def render(self) -> str:
+        base = self.times["uniform-workers"]
+        rows = [[name, t, base / t] for name, t in self.times.items()]
+        return format_table(
+            ["placement", "exec time (s)", "speedup"],
+            rows,
+            title="Hybrid DRAM+NVM machine (Section VI), canonical benchmark",
+        )
+
+
+def run_hybrid_study() -> HybridStudyResult:
+    """Uniform placements vs BWAP on a 2-DRAM + 2-NVM machine."""
+    machine = hybrid_dram_nvm()
+    ct = CanonicalTuner(machine)
+    workers = pick_worker_nodes(machine, 2)
+    wl = canonical_stream()
+    times: Dict[str, float] = {}
+    for name, policy in (
+        ("uniform-workers", UniformWorkers()),
+        ("uniform-all", UniformAll()),
+    ):
+        sim = Simulator(machine)
+        sim.add_app(Application("a", wl, machine, workers, policy=policy))
+        times[name] = sim.run().execution_time("a")
+    sim = Simulator(machine)
+    app = sim.add_app(Application("a", wl, machine, workers, policy=None))
+    bwap_init(
+        sim, app, canonical_tuner=ct,
+        config=BWAPConfig(measurement=QUICK, warmup_s=0.2),
+    )
+    times["bwap"] = sim.run().execution_time("a")
+    return HybridStudyResult(times=times)

@@ -1,0 +1,72 @@
+"""Fig. 2 — co-scheduled scenario on machine A (Section IV-A).
+
+Each benchmark (application B) runs on 1, 2, or 4 worker nodes while
+Swaptions (application A) occupies the remaining nodes. Bars are speedups
+versus uniform-workers for every placement policy, including BWAP and the
+BWAP-uniform ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.experiments.common import (
+    ALL_POLICIES,
+    get_machine,
+    policy_comparison,
+    speedups_vs,
+)
+from repro.experiments.report import format_speedup_series
+from repro.workloads import paper_benchmarks
+
+
+@dataclass
+class Fig2Result:
+    """Speedups vs uniform-workers, per worker count and benchmark."""
+
+    #: worker count -> benchmark -> policy -> speedup
+    speedups: Dict[int, Dict[str, Dict[str, float]]]
+    #: worker count -> benchmark -> policy -> raw execution time (s)
+    exec_times: Dict[int, Dict[str, Dict[str, float]]]
+
+    def best_policy(self, num_workers: int, benchmark: str) -> str:
+        """Which policy wins a given panel/bar group."""
+        series = self.speedups[num_workers][benchmark]
+        return max(series, key=series.get)
+
+    def render(self) -> str:
+        parts = []
+        for n, series in sorted(self.speedups.items()):
+            parts.append(
+                format_speedup_series(
+                    series,
+                    title=f"Fig. 2 ({n} worker node{'s' if n > 1 else ''}, "
+                    "co-scheduled, machine A)",
+                )
+            )
+        return "\n\n".join(parts)
+
+
+def run_fig2(
+    *,
+    worker_counts: Sequence[int] = (1, 2, 4),
+    policies: Sequence[str] = ALL_POLICIES,
+    benchmarks=None,
+    seed: int = 42,
+) -> Fig2Result:
+    """Regenerate Fig. 2a-c."""
+    machine = get_machine("A")
+    workloads = benchmarks if benchmarks is not None else paper_benchmarks()
+    speedups: Dict[int, Dict[str, Dict[str, float]]] = {}
+    times: Dict[int, Dict[str, Dict[str, float]]] = {}
+    for n in worker_counts:
+        speedups[n] = {}
+        times[n] = {}
+        for wl in workloads:
+            outcomes = policy_comparison(
+                machine, wl, n, policies, coscheduled=True, seed=seed
+            )
+            speedups[n][wl.name] = speedups_vs(outcomes)
+            times[n][wl.name] = {p: o.exec_time_s for p, o in outcomes.items()}
+    return Fig2Result(speedups=speedups, exec_times=times)

@@ -1,0 +1,111 @@
+"""Fig. 3 — co-scheduled on machine B and stand-alone on both machines.
+
+* **Fig. 3a/3b**: the Fig. 2 experiment on machine B (1 and 2 workers).
+* **Fig. 3c/3d**: stand-alone scenario — each benchmark deployed at its
+  *optimal* worker count (determined per benchmark, as a rational user
+  would), all placement policies compared, machines A and B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.experiments.common import (
+    ALL_POLICIES,
+    get_machine,
+    optimal_worker_count,
+    policy_comparison,
+    speedups_vs,
+)
+from repro.experiments.report import format_speedup_series
+from repro.workloads import paper_benchmarks
+
+
+@dataclass
+class Fig3abResult:
+    """Machine B co-scheduled speedups (Fig. 3a: 1 worker, 3b: 2 workers)."""
+
+    speedups: Dict[int, Dict[str, Dict[str, float]]]
+
+    def render(self) -> str:
+        parts = []
+        for n, series in sorted(self.speedups.items()):
+            parts.append(
+                format_speedup_series(
+                    series,
+                    title=f"Fig. 3{'a' if n == 1 else 'b'} ({n} worker node"
+                    f"{'s' if n > 1 else ''}, co-scheduled, machine B)",
+                )
+            )
+        return "\n\n".join(parts)
+
+
+def run_fig3ab(
+    *,
+    worker_counts: Sequence[int] = (1, 2),
+    policies: Sequence[str] = ALL_POLICIES,
+    benchmarks=None,
+    seed: int = 42,
+) -> Fig3abResult:
+    """Regenerate Fig. 3a/3b."""
+    machine = get_machine("B")
+    workloads = benchmarks if benchmarks is not None else paper_benchmarks()
+    speedups: Dict[int, Dict[str, Dict[str, float]]] = {}
+    for n in worker_counts:
+        speedups[n] = {}
+        for wl in workloads:
+            outcomes = policy_comparison(
+                machine, wl, n, policies, coscheduled=True, seed=seed
+            )
+            speedups[n][wl.name] = speedups_vs(outcomes)
+    return Fig3abResult(speedups=speedups)
+
+
+@dataclass
+class Fig3cdResult:
+    """Stand-alone speedups at the optimal worker count per benchmark."""
+
+    #: machine name -> benchmark -> policy -> speedup vs uniform-workers
+    speedups: Dict[str, Dict[str, Dict[str, float]]]
+    #: machine name -> benchmark -> chosen worker count
+    worker_counts: Dict[str, Dict[str, int]]
+
+    def render(self) -> str:
+        parts = []
+        for mname, series in self.speedups.items():
+            labelled = {
+                f"{b}\n{self.worker_counts[mname][b]}W": v for b, v in series.items()
+            }
+            panel = "c" if mname == "machine-A" else "d"
+            parts.append(
+                format_speedup_series(
+                    {k.replace("\n", " "): v for k, v in labelled.items()},
+                    title=f"Fig. 3{panel} (stand-alone, optimal workers, {mname})",
+                )
+            )
+        return "\n\n".join(parts)
+
+
+def run_fig3cd(
+    *,
+    policies: Sequence[str] = ALL_POLICIES,
+    benchmarks=None,
+    seed: int = 42,
+) -> Fig3cdResult:
+    """Regenerate Fig. 3c/3d."""
+    workloads = benchmarks if benchmarks is not None else paper_benchmarks()
+    speedups: Dict[str, Dict[str, Dict[str, float]]] = {}
+    counts: Dict[str, Dict[str, int]] = {}
+    for mname, candidates in (("A", (1, 2, 4, 8)), ("B", (1, 2, 4))):
+        machine = get_machine(mname)
+        speedups[machine.name] = {}
+        counts[machine.name] = {}
+        for wl in workloads:
+            n = optimal_worker_count(machine, wl, candidates, seed=seed)
+            counts[machine.name][wl.name] = n
+            outcomes = policy_comparison(
+                machine, wl, n, policies, coscheduled=False, seed=seed
+            )
+            speedups[machine.name][wl.name] = speedups_vs(outcomes)
+    return Fig3cdResult(speedups=speedups, worker_counts=counts)

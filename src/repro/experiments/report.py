@@ -1,0 +1,81 @@
+"""Plain-text rendering of experiment results.
+
+The harness prints the same rows/series the paper's figures and tables
+report, as aligned ASCII tables (no plotting dependencies are available
+offline).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    *,
+    floatfmt: str = "{:.2f}",
+    title: str = "",
+) -> str:
+    """Render rows as an aligned ASCII table."""
+    str_rows: List[List[str]] = []
+    for row in rows:
+        out = []
+        for cell in row:
+            if isinstance(cell, float) or isinstance(cell, np.floating):
+                out.append(floatfmt.format(cell))
+            else:
+                out.append(str(cell))
+        str_rows.append(out)
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append("  ".join("-" * w for w in widths))
+    parts.extend(line(r) for r in str_rows)
+    return "\n".join(parts)
+
+
+def format_matrix(
+    matrix: np.ndarray,
+    *,
+    title: str = "",
+    labels: Sequence[str] = None,
+    floatfmt: str = "{:.1f}",
+) -> str:
+    """Render a square matrix with node labels (Fig. 1a style)."""
+    m = np.asarray(matrix)
+    n = m.shape[0]
+    if labels is None:
+        labels = [f"N{i + 1}" for i in range(n)]
+    headers = ["src\\dst"] + list(labels)
+    rows = [[labels[i]] + [floatfmt.format(m[i, j]) for j in range(n)] for i in range(n)]
+    return format_table(headers, rows, title=title)
+
+
+def format_speedup_series(
+    series: dict,
+    *,
+    reference: str = "uniform-workers",
+    title: str = "",
+) -> str:
+    """Render {benchmark: {policy: speedup}} in the figures' layout."""
+    benchmarks = list(series)
+    policies = list(next(iter(series.values())))
+    headers = ["policy"] + benchmarks
+    rows = [
+        [p] + [series[b][p] for b in benchmarks]
+        for p in policies
+    ]
+    note = f"(speedup vs {reference}; higher is better)"
+    return format_table(headers, rows, title=f"{title} {note}".strip())

@@ -1,0 +1,116 @@
+"""Workload-space robustness: BWAP as a best-effort default.
+
+The paper positions BWAP as *best-effort*: its assumptions (read-mostly,
+all-shared, uniform access) are violated by most of its own benchmarks,
+yet it "performs comparably to the best solution" where it cannot win
+(Section IV-A). This study quantifies that claim beyond the five
+benchmarks: sweep a population of random workloads (demand, write share,
+private share, latency sensitivity, scalability all randomised) and record
+BWAP's worst case against the best static baseline per workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import dataclasses as dc
+
+from repro.core import BWAPConfig, CanonicalTuner, bwap_init
+from repro.engine import Application, Simulator, pick_worker_nodes
+from repro.experiments.report import format_table
+from repro.memsim import FirstTouch, UniformAll, UniformWorkers
+from repro.perf.counters import MeasurementConfig
+from repro.topology.machine import Machine
+from repro.units import MiB
+from repro.workloads import workload_sweep
+
+QUICK = MeasurementConfig(n=8, c=2, t=0.1)
+
+#: Baselines each random workload is compared against.
+BASELINES = (
+    ("first-touch", FirstTouch),
+    ("uniform-workers", UniformWorkers),
+    ("uniform-all", UniformAll),
+)
+
+
+@dataclass
+class RobustnessResult:
+    """Per-workload BWAP vs the best baseline."""
+
+    #: workload name -> (bwap time, best baseline time, best baseline name)
+    rows: Dict[str, Tuple[float, float, str]]
+
+    def ratios(self) -> List[float]:
+        """bwap / best-baseline execution-time ratios (< 1 means BWAP wins)."""
+        return [b / best for b, best, _ in self.rows.values()]
+
+    @property
+    def worst_ratio(self) -> float:
+        """BWAP's worst case vs the per-workload best baseline."""
+        return max(self.ratios())
+
+    @property
+    def win_fraction(self) -> float:
+        """Share of workloads where BWAP at least matches the best baseline."""
+        r = self.ratios()
+        return sum(1 for x in r if x <= 1.0 + 1e-9) / len(r)
+
+    def render(self) -> str:
+        table_rows = [
+            [name, b, best, winner, b / best]
+            for name, (b, best, winner) in sorted(self.rows.items())
+        ]
+        return format_table(
+            ["workload", "bwap (s)", "best baseline (s)", "which", "ratio"],
+            table_rows,
+            title=(
+                "Workload-space robustness (machine A, 2 workers): "
+                f"BWAP wins/ties {self.win_fraction:.0%}, worst case "
+                f"{self.worst_ratio:.2f}x"
+            ),
+        )
+
+
+def run_robustness(
+    *,
+    num_workloads: int = 20,
+    num_workers: int = 2,
+    seed: int = 11,
+    machine: Machine = None,
+) -> RobustnessResult:
+    """Sweep random workloads and compare BWAP to the best static baseline."""
+    if machine is None:
+        from repro.experiments.common import get_machine
+
+        machine = get_machine("A")
+    canonical = CanonicalTuner(machine)
+    workers = pick_worker_nodes(machine, num_workers)
+
+    rows: Dict[str, Tuple[float, float, str]] = {}
+    for wl in workload_sweep(num_workloads, seed=seed):
+        # Keep the runs short: robustness is about ordering, not scale.
+        wl = dc.replace(
+            wl,
+            work_bytes=120e9,
+            shared_bytes=32 * MiB,
+            private_bytes_per_thread=min(wl.private_bytes_per_thread, 8 * MiB),
+        )
+        best_time, best_name = float("inf"), ""
+        for name, factory in BASELINES:
+            sim = Simulator(machine)
+            sim.add_app(Application("a", wl, machine, workers, policy=factory()))
+            t = sim.run().execution_time("a")
+            if t < best_time:
+                best_time, best_name = t, name
+
+        sim = Simulator(machine)
+        app = sim.add_app(Application("a", wl, machine, workers, policy=None))
+        bwap_init(
+            sim, app, canonical_tuner=canonical,
+            config=BWAPConfig(measurement=QUICK, warmup_s=0.2),
+        )
+        t_bwap = sim.run().execution_time("a")
+        rows[wl.name] = (t_bwap, best_time, best_name)
+    return RobustnessResult(rows=rows)

@@ -1,0 +1,87 @@
+"""Table I — memory-access characterisation of the benchmarks.
+
+The paper measures each benchmark with NumaMMA on machine B, running on one
+full worker node. We run the same deployment and let the simulated access
+profiler characterise the observed traffic; the result is compared against
+the paper's numbers (which are also the workloads' calibration inputs, so
+agreement here validates that the engine faithfully realises the demand the
+specs describe).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.engine import Application, Simulator, pick_worker_nodes
+from repro.experiments.common import get_machine
+from repro.experiments.report import format_table
+from repro.memsim import UniformAll
+from repro.perf import AccessCharacterisation, AccessProfiler
+from repro.workloads import paper_benchmarks
+
+#: The paper's Table I (reads MB/s, writes MB/s, %private, %shared).
+PAPER_TABLE1: Dict[str, tuple] = {
+    "OC": (17576, 6492, 79.3, 20.7),
+    "ON": (16053, 5578, 86.7, 13.3),
+    "SP.B": (11962, 5352, 19.9, 80.1),
+    "SC": (10055, 70, 0.2, 99.8),
+    "FT.C": (5585, 4715, 95.0, 5.0),
+}
+
+
+@dataclass
+class Table1Result:
+    """Measured characterisation next to the paper's."""
+
+    measured: Dict[str, AccessCharacterisation]
+
+    def render(self) -> str:
+        rows: List[list] = []
+        for name, c in self.measured.items():
+            paper = PAPER_TABLE1.get(name)
+            rows.append(
+                [
+                    name,
+                    f"{c.reads_mbps:.0f}",
+                    f"{c.writes_mbps:.0f}",
+                    f"{c.private_pct:.1f}",
+                    f"{c.shared_pct:.1f}",
+                    f"{paper[0]}/{paper[1]}" if paper else "-",
+                    f"{paper[2]}/{paper[3]}" if paper else "-",
+                ]
+            )
+        return format_table(
+            [
+                "bench",
+                "reads MB/s",
+                "writes MB/s",
+                "private %",
+                "shared %",
+                "paper R/W",
+                "paper priv/shared",
+            ],
+            rows,
+            title="Table I — access characterisation (one full worker node, machine B)",
+        )
+
+
+def run_table1(benchmarks=None) -> Table1Result:
+    """Regenerate Table I.
+
+    Each benchmark runs stand-alone on one full machine-B node with
+    uniform-all placement (matching the unconstrained-bandwidth conditions
+    NumaMMA profiles under) and its traffic is characterised.
+    """
+    machine = get_machine("B")
+    workloads = benchmarks if benchmarks is not None else paper_benchmarks()
+    measured: Dict[str, AccessCharacterisation] = {}
+    for wl in workloads:
+        workers = pick_worker_nodes(machine, 1)
+        sim = Simulator(machine)
+        sim.add_app(Application("B", wl, machine, workers, policy=UniformAll()))
+        result = sim.run()
+        profiler = AccessProfiler(wl.name)
+        profiler.extend(result.telemetry["B"].traffic)
+        measured[wl.name] = profiler.characterise()
+    return Table1Result(measured=measured)

@@ -1,0 +1,75 @@
+"""Table II — DWP values found by BWAP's iterative search (co-scheduled).
+
+For every benchmark and worker-count scenario on both machines, run the
+full co-scheduled BWAP pipeline and report the DWP the tuner settles on,
+next to the paper's values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.common import get_machine, run_scenario
+from repro.experiments.report import format_table
+from repro.workloads import paper_benchmarks
+
+#: The paper's Table II: benchmark -> {(machine, workers): DWP %}.
+PAPER_TABLE2: Dict[str, Dict[Tuple[str, int], float]] = {
+    "SC": {("A", 1): 48.0, ("A", 2): 0.0, ("A", 4): 23.8, ("B", 1): 100.0, ("B", 2): 100.0},
+    "OC": {("A", 1): 14.1, ("A", 2): 0.0, ("A", 4): 0.0, ("B", 1): 0.0, ("B", 2): 0.0},
+    "ON": {("A", 1): 14.1, ("A", 2): 16.0, ("A", 4): 0.0, ("B", 1): 0.0, ("B", 2): 0.0},
+    "SP.B": {("A", 1): 0.0, ("A", 2): 0.0, ("A", 4): 0.0, ("B", 1): 15.2, ("B", 2): 22.2},
+    "FT.C": {("A", 1): 0.0, ("A", 2): 16.3, ("A", 4): 0.0, ("B", 1): 30.3, ("B", 2): 0.0},
+}
+
+#: The co-scheduled scenarios of the paper's Table II.
+SCENARIOS: Tuple[Tuple[str, int], ...] = (
+    ("A", 1),
+    ("A", 2),
+    ("A", 4),
+    ("B", 1),
+    ("B", 2),
+)
+
+
+@dataclass
+class Table2Result:
+    """DWP per benchmark and scenario, measured and paper."""
+
+    #: benchmark -> {(machine, workers): DWP in percent}
+    measured: Dict[str, Dict[Tuple[str, int], float]]
+
+    def render(self) -> str:
+        rows: List[list] = []
+        for name, vals in self.measured.items():
+            row = [name]
+            for scen in SCENARIOS:
+                got = vals.get(scen)
+                paper = PAPER_TABLE2.get(name, {}).get(scen)
+                cell = "-" if got is None else f"{got:.0f}%"
+                if paper is not None:
+                    cell += f" ({paper:.0f}%)"
+                row.append(cell)
+            rows.append(row)
+        headers = ["bench"] + [f"{m}:{w}W" for m, w in SCENARIOS]
+        return format_table(
+            headers,
+            rows,
+            title="Table II — DWP found by the iterative search, measured (paper)",
+        )
+
+
+def run_table2(
+    *, scenarios: Sequence[Tuple[str, int]] = SCENARIOS, benchmarks=None, seed: int = 42
+) -> Table2Result:
+    """Regenerate Table II."""
+    workloads = benchmarks if benchmarks is not None else paper_benchmarks()
+    measured: Dict[str, Dict[Tuple[str, int], float]] = {}
+    for wl in workloads:
+        measured[wl.name] = {}
+        for mname, n in scenarios:
+            machine = get_machine(mname)
+            out = run_scenario(machine, wl, n, "bwap", coscheduled=True, seed=seed)
+            measured[wl.name][(mname, n)] = 100.0 * (out.final_dwp or 0.0)
+    return Table2Result(measured=measured)

@@ -1,0 +1,364 @@
+"""Steady-state bandwidth allocation under contention and congestion.
+
+This module computes what the real memory system does implicitly: given the
+traffic every worker node generates (its demand and source mix), determine
+the rate each worker actually achieves once memory-controller contention,
+link congestion, and ingress-port limits are accounted for. The paper's
+Section III-A3 lists exactly these phenomena as the reason the
+``bw(src -> dst)`` function is demand-dependent.
+
+Two allocation disciplines are provided:
+
+* :func:`solve` — max-min fair **progressive filling** across consumers,
+  used to model steady-state application execution: all consumers' rates
+  rise together until a resource saturates, which freezes the consumers
+  crossing it; the remainder keep growing.
+* :func:`proportional_profile` — **proportional throttling** of independent
+  per-pair flows, used to model the canonical tuner's profiling benchmark:
+  with deep memory-level parallelism each source channel runs at its own
+  capability, and when a shared resource saturates all of its flows scale
+  down proportionally. This preserves the relative asymmetry between pairs,
+  which is the signal the canonical tuner needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.memsim.controller import DEFAULT_MC_MODEL, MCModel
+from repro.memsim.flows import Consumer
+from repro.topology.machine import Machine
+
+#: Numerical slack used when deciding resource saturation.
+_EPS = 1e-9
+
+#: Resource keys are ('mc', node), ('link', src, dst), or ('ingress', node).
+ResourceKey = Tuple
+
+
+@dataclass
+class Allocation:
+    """Result of a contention solve.
+
+    Attributes
+    ----------
+    rates:
+        Achieved aggregate rate (GB/s) per consumer, keyed by
+        ``(app_id, node)``.
+    utilization:
+        Load / capacity per resource (see module docs for key format).
+    bottleneck:
+        For each consumer, the resource that froze its growth (None when
+        the consumer was satisfied by its own demand cap).
+    capacities:
+        Effective capacity per resource used by this solve (after MC
+        de-rating).
+    """
+
+    rates: Dict[Tuple[str, int], float]
+    utilization: Dict[ResourceKey, float]
+    bottleneck: Dict[Tuple[str, int], Optional[ResourceKey]]
+    capacities: Dict[ResourceKey, float]
+
+    def rate(self, app_id: str, node: int) -> float:
+        """Achieved rate of one consumer."""
+        return self.rates[(app_id, node)]
+
+    def app_rates(self, app_id: str) -> Dict[int, float]:
+        """Per-worker-node rates of one application."""
+        return {node: r for (aid, node), r in self.rates.items() if aid == app_id}
+
+    def app_total_rate(self, app_id: str) -> float:
+        """Aggregate achieved rate of one application across its workers."""
+        return sum(self.app_rates(app_id).values())
+
+    def resource_utilization(self, key: ResourceKey) -> float:
+        """Utilization of one resource (0 when unused)."""
+        return self.utilization.get(key, 0.0)
+
+
+def _consumer_resource_coefficients(
+    machine: Machine, consumer: Consumer, write_scale: float
+) -> Dict[ResourceKey, float]:
+    """Per-resource capacity consumed per unit of consumer rate.
+
+    A consumer running at rate ``R`` pulls ``R * mix[i]`` from each source
+    node ``i``. That traffic costs:
+
+    * ``mix[i] * write_scale`` at the source memory controller (writes are
+      dearer there);
+    * ``mix[i] / hop_eff^(hops-1)`` on every link of the route (multi-hop
+      forwarding overhead consumes extra link capacity);
+    * ``mix[i]`` of the consumer node's remote-ingress port when the source
+      is remote.
+    """
+    coeffs: Dict[ResourceKey, float] = {}
+    w = consumer.node
+    for src, frac in enumerate(consumer.mix):
+        if frac <= 0:
+            continue
+        key_mc = ("mc", src)
+        coeffs[key_mc] = coeffs.get(key_mc, 0.0) + frac * write_scale
+        if src == w:
+            continue
+        route = machine.route(src, w)
+        overhead = 1.0 / (machine.hop_efficiency ** max(0, route.hops - 1))
+        for link in route.links:
+            key_l = ("link", link.src, link.dst)
+            coeffs[key_l] = coeffs.get(key_l, 0.0) + frac * overhead
+        key_in = ("ingress", w)
+        coeffs[key_in] = coeffs.get(key_in, 0.0) + frac
+    return coeffs
+
+
+def _resource_capacities(
+    machine: Machine,
+    consumers: Sequence[Consumer],
+    mc_model: MCModel,
+) -> Dict[ResourceKey, float]:
+    """Effective capacities of every resource any consumer touches."""
+    # MC de-rating depends on how many distinct consumer nodes read a node.
+    readers: Dict[int, set] = {}
+    for c in consumers:
+        for src, frac in enumerate(c.mix):
+            if frac > 0:
+                readers.setdefault(src, set()).add(c.node)
+
+    caps: Dict[ResourceKey, float] = {}
+    for src, nodes in readers.items():
+        peak = machine.node(src).local_bandwidth
+        caps[("mc", src)] = mc_model.effective_capacity(peak, len(nodes))
+    for c in consumers:
+        for src, frac in enumerate(c.mix):
+            if frac <= 0 or src == c.node:
+                continue
+            for link in machine.route(src, c.node).links:
+                caps[("link", link.src, link.dst)] = link.capacity
+        ingress = machine.ingress_capacity(c.node)
+        if np.isfinite(ingress):
+            caps[("ingress", c.node)] = ingress
+    return caps
+
+
+def solve(
+    machine: Machine,
+    consumers: Sequence[Consumer],
+    mc_model: MCModel = DEFAULT_MC_MODEL,
+) -> Allocation:
+    """Max-min fair progressive filling across consumers.
+
+    All non-idle consumers' rates grow at the same pace. When a resource
+    saturates, every consumer with positive share in it freezes; when a
+    consumer reaches its demand cap it freezes satisfied. Terminates after
+    at most ``len(resources) + len(consumers)`` rounds.
+    """
+    live = [c for c in consumers if not c.is_idle]
+    rates: Dict[Tuple[str, int], float] = {c.key(): 0.0 for c in consumers}
+    bottleneck: Dict[Tuple[str, int], Optional[ResourceKey]] = {
+        c.key(): None for c in consumers
+    }
+    if not live:
+        return Allocation(rates=rates, utilization={}, bottleneck=bottleneck, capacities={})
+
+    keys = [c.key() for c in live]
+    if len(set(keys)) != len(keys):
+        raise ValueError(f"duplicate consumer keys: {sorted(keys)}")
+
+    write_scales = [
+        1.0 + c.write_fraction * (mc_model.write_cost_factor - 1.0) for c in live
+    ]
+    coeffs = [
+        _consumer_resource_coefficients(machine, c, ws)
+        for c, ws in zip(live, write_scales)
+    ]
+    caps = _resource_capacities(machine, live, mc_model)
+
+    n = len(live)
+    r = np.zeros(n)
+    demand = np.array([c.demand for c in live])
+    active = np.ones(n, dtype=bool)
+
+    # Dense per-resource coefficient matrix for vectorised load computation.
+    res_keys: List[ResourceKey] = sorted(caps.keys(), key=repr)
+    res_index = {k: i for i, k in enumerate(res_keys)}
+    A = np.zeros((len(res_keys), n))
+    for j, cf in enumerate(coeffs):
+        for k, v in cf.items():
+            A[res_index[k], j] = v
+    cap_vec = np.array([caps[k] for k in res_keys])
+
+    for _ in range(len(res_keys) + n + 1):
+        if not active.any():
+            break
+        load = A @ r
+        growth = A @ active.astype(float)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            room = np.where(growth > _EPS, (cap_vec - load) / growth, np.inf)
+        room = np.clip(room, 0.0, None)
+        cap_headroom = np.where(active, demand - r, np.inf)
+        delta = min(room.min(initial=np.inf), cap_headroom.min(initial=np.inf))
+        if not np.isfinite(delta):
+            # Every active consumer is unbounded and touches no finite
+            # resource — cannot happen on a real machine, but guard anyway.
+            raise RuntimeError("unbounded allocation: consumer touches no finite resource")
+        r[active] += delta
+
+        load = A @ r
+        saturated = (cap_vec - load) <= _EPS * np.maximum(cap_vec, 1.0)
+        newly_frozen = np.zeros(n, dtype=bool)
+        for ri in np.nonzero(saturated)[0]:
+            users = (A[ri] > _EPS) & active
+            for j in np.nonzero(users)[0]:
+                if bottleneck[live[j].key()] is None:
+                    bottleneck[live[j].key()] = res_keys[ri]
+            newly_frozen |= users
+        satisfied = active & (r >= demand - _EPS)
+        newly_frozen |= satisfied
+        if not newly_frozen.any():
+            # Nothing froze: numerical corner; freeze the tightest resource's
+            # users to guarantee progress.
+            tight = int(np.argmin(cap_vec - load))
+            users = (A[tight] > _EPS) & active
+            if not users.any():
+                break
+            newly_frozen |= users
+        active &= ~newly_frozen
+
+    for c, rate in zip(live, r):
+        rates[c.key()] = float(rate)
+    load = A @ r
+    utilization = {
+        k: float(load[i] / cap_vec[i]) if cap_vec[i] > 0 else 0.0
+        for k, i in res_index.items()
+    }
+    return Allocation(
+        rates=rates,
+        utilization=utilization,
+        bottleneck=bottleneck,
+        capacities={k: float(cap_vec[res_index[k]]) for k in res_keys},
+    )
+
+
+def proportional_profile(
+    machine: Machine,
+    worker_nodes: Sequence[int],
+    mc_model: MCModel = DEFAULT_MC_MODEL,
+    *,
+    max_iterations: int = 100,
+) -> np.ndarray:
+    """Effective ``bw(src -> dst)`` matrix under concurrent profiling load.
+
+    Models the canonical tuner's profiling run (Section III-A3): the
+    bandwidth-intensive reference benchmark runs on ``worker_nodes`` with
+    pages uniformly interleaved across *all* nodes, and per-pair throughput
+    is observed. Each pair's flow starts at its nominal (isolated)
+    bandwidth; shared resources that end up overloaded scale all their
+    flows down proportionally until everything fits.
+
+    Returns an ``N x len(worker_nodes)``-shaped matrix restricted to the
+    worker columns embedded in a full ``N x N`` array: entries for
+    non-worker destinations are 0.
+    """
+    workers = list(worker_nodes)
+    if not workers:
+        raise ValueError("worker_nodes must not be empty")
+    if len(set(workers)) != len(workers):
+        raise ValueError(f"duplicate worker nodes: {workers}")
+    n = machine.num_nodes
+    for w in workers:
+        if not 0 <= w < n:
+            raise ValueError(f"worker node {w} outside machine")
+
+    flows: List[Tuple[int, int]] = [(src, w) for w in workers for src in range(n)]
+    rates = np.array([machine.nominal_bandwidth(s, d) for s, d in flows])
+
+    def _waterfill(idx: List[int], coefs_: List[float], cap: float) -> None:
+        """Equal-share (max-min) reduction: find the level t such that
+        ``sum(min(rate, t) * coef) == cap`` and clip rates at t.
+
+        Memory controllers arbitrate roughly fairly among requestors
+        (FR-FCFS), so an overloaded controller equalises its flows instead
+        of scaling them proportionally — this is what makes the profiled
+        inter-worker bandwidths tend to uniformity as the worker set grows
+        (the paper's Section IV-A observation).
+        """
+        pairs = sorted(zip((rates[m] for m in idx), coefs_, idx))
+        remaining = cap
+        coef_sum = sum(c for _, c, _ in pairs)
+        level = None
+        for r, c, _ in pairs:
+            if r * coef_sum <= remaining:
+                remaining -= r * c
+                coef_sum -= c
+            else:
+                level = remaining / coef_sum
+                break
+        if level is not None:
+            for m in idx:
+                rates[m] = min(rates[m], level)
+
+    # Resource membership and capacities (same resources as `solve`).
+    res_caps: Dict[ResourceKey, float] = {}
+    res_members: Dict[ResourceKey, List[int]] = {}
+    res_coef: Dict[ResourceKey, List[float]] = {}
+    readers: Dict[int, set] = {}
+    for fi, (src, dst) in enumerate(flows):
+        readers.setdefault(src, set()).add(dst)
+
+    def add(key: ResourceKey, cap: float, fi: int, coef: float) -> None:
+        res_caps[key] = cap
+        res_members.setdefault(key, []).append(fi)
+        res_coef.setdefault(key, []).append(coef)
+
+    for fi, (src, dst) in enumerate(flows):
+        peak = machine.node(src).local_bandwidth
+        add(("mc", src), mc_model.effective_capacity(peak, len(readers[src])), fi, 1.0)
+        if src != dst:
+            route = machine.route(src, dst)
+            overhead = 1.0 / (machine.hop_efficiency ** max(0, route.hops - 1))
+            for link in route.links:
+                add(("link", link.src, link.dst), link.capacity, fi, overhead)
+            ingress = machine.ingress_capacity(dst)
+            if np.isfinite(ingress):
+                add(("ingress", dst), ingress, fi, 1.0)
+
+    for _ in range(max_iterations):
+        worst_key, worst_factor = None, 1.0
+        for key, cap in res_caps.items():
+            members = res_members[key]
+            coefs = res_coef[key]
+            load = sum(rates[m] * c for m, c in zip(members, coefs))
+            if load > cap * (1 + _EPS):
+                factor = cap / load
+                if factor < worst_factor:
+                    worst_key, worst_factor = key, factor
+        if worst_key is None:
+            break
+        members = res_members[worst_key]
+        coefs = res_coef[worst_key]
+        if worst_key[0] == "mc":
+            # Controllers arbitrate fairly among requestors: equal-share.
+            _waterfill(members, coefs, res_caps[worst_key])
+        else:
+            # Links and ingress ports throttle in-flight traffic
+            # proportionally, preserving path asymmetry.
+            for m in members:
+                rates[m] *= worst_factor
+
+    out = np.zeros((n, n))
+    for (src, dst), rate in zip(flows, rates):
+        out[src, dst] = rate
+    return out
+
+
+def isolated_bandwidth_matrix(machine: Machine) -> np.ndarray:
+    """Pair-at-a-time profiled bandwidth matrix (no concurrent load).
+
+    This is what a pairwise streaming microbenchmark measures and is how we
+    regenerate Fig. 1a; it equals the machine's nominal matrix because a
+    single flow meets no contention.
+    """
+    return machine.nominal_bandwidth_matrix()

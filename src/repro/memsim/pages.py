@@ -1,0 +1,252 @@
+"""Simulated virtual address spaces and page tables.
+
+The unit of placement in the paper (and in Linux) is the 4 KB page. We model
+an application's address space as a set of :class:`Segment` objects — the
+``.data``/BSS segments and dynamic mappings that BWAP's user-level placement
+walks (Section III-B2) — backed by a single page table that records which
+NUMA node physically holds each page (or -1 while untouched, since Linux
+allocates lazily on first touch).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.units import PAGE_SIZE, bytes_to_pages
+
+#: Page-table value for a virtual page with no physical backing yet.
+UNALLOCATED: int = -1
+
+
+class SegmentKind(enum.Enum):
+    """What the pages in a segment hold, from the placement model's view.
+
+    The paper's system model distinguishes *shared* pages (accessed by every
+    thread with uniform probability) from *thread-private* pages (accessed
+    only by their owning thread); BWAP's design assumes the former dominate
+    but its evaluation stresses workloads where they do not (Table I).
+    """
+
+    SHARED = "shared"
+    PRIVATE = "private"
+
+
+@dataclass
+class Segment:
+    """A contiguous virtual address range with homogeneous access semantics.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (e.g. ``"heap"``, ``"bss"``).
+    start_page:
+        Index of the first page within the owning address space.
+    num_pages:
+        Segment length in pages.
+    kind:
+        Shared or thread-private data.
+    owner_thread:
+        For private segments, the global id of the owning thread; None for
+        shared segments.
+    page_size:
+        Bytes per page of the owning address space.
+    """
+
+    name: str
+    start_page: int
+    num_pages: int
+    kind: SegmentKind
+    owner_thread: Optional[int] = None
+    page_size: int = PAGE_SIZE
+
+    def __post_init__(self) -> None:
+        if self.num_pages <= 0:
+            raise ValueError(f"segment {self.name!r} must have at least one page")
+        if self.start_page < 0:
+            raise ValueError(f"segment {self.name!r} has negative start page")
+        if self.kind is SegmentKind.PRIVATE and self.owner_thread is None:
+            raise ValueError(f"private segment {self.name!r} needs an owner thread")
+        if self.kind is SegmentKind.SHARED and self.owner_thread is not None:
+            raise ValueError(f"shared segment {self.name!r} cannot have an owner thread")
+
+    @property
+    def end_page(self) -> int:
+        """One past the last page index."""
+        return self.start_page + self.num_pages
+
+    @property
+    def size_bytes(self) -> int:
+        """Segment size in bytes."""
+        return self.num_pages * self.page_size
+
+    def page_range(self) -> Tuple[int, int]:
+        """``(start_page, end_page)`` half-open interval."""
+        return (self.start_page, self.end_page)
+
+
+class AddressSpace:
+    """One process's virtual memory, at page granularity.
+
+    Pages are lazily backed: a page maps to ``UNALLOCATED`` until it is
+    first touched (:meth:`touch`) or explicitly bound via the simulated
+    ``mbind`` (:mod:`repro.memsim.mbind`).
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of NUMA nodes in the machine this space lives on; used to
+        validate placements and size histograms.
+    page_size:
+        Backing page size in bytes. Defaults to the 4 KB pages the paper
+        evaluates with; pass ``2 * MiB`` to study transparent huge pages
+        (the integration the paper defers as future work, citing "Large
+        pages may be harmful on NUMA systems" [14]).
+    """
+
+    def __init__(self, num_nodes: int, page_size: int = PAGE_SIZE):
+        if num_nodes <= 0:
+            raise ValueError(f"num_nodes must be positive, got {num_nodes}")
+        if page_size <= 0 or page_size % 4096 != 0:
+            raise ValueError(
+                f"page_size must be a positive multiple of 4096, got {page_size}"
+            )
+        self.num_nodes = num_nodes
+        self.page_size = page_size
+        self._segments: List[Segment] = []
+        self._page_nodes = np.empty(0, dtype=np.int16)
+        self._next_page = 0
+
+    # ------------------------------------------------------------------ #
+    # Allocation
+    # ------------------------------------------------------------------ #
+
+    def map_segment(
+        self,
+        name: str,
+        size_bytes: int,
+        kind: SegmentKind = SegmentKind.SHARED,
+        owner_thread: Optional[int] = None,
+    ) -> Segment:
+        """Reserve a new virtual segment of at least ``size_bytes`` bytes.
+
+        No physical pages are allocated; pages start ``UNALLOCATED``.
+        """
+        num_pages = bytes_to_pages(size_bytes, self.page_size)
+        seg = Segment(
+            name=name,
+            start_page=self._next_page,
+            num_pages=num_pages,
+            kind=kind,
+            owner_thread=owner_thread,
+            page_size=self.page_size,
+        )
+        self._segments.append(seg)
+        self._next_page += num_pages
+        grown = np.full(num_pages, UNALLOCATED, dtype=np.int16)
+        self._page_nodes = np.concatenate([self._page_nodes, grown])
+        return seg
+
+    @property
+    def segments(self) -> Tuple[Segment, ...]:
+        """All mapped segments in mapping order."""
+        return tuple(self._segments)
+
+    @property
+    def total_pages(self) -> int:
+        """Total mapped pages (allocated or not)."""
+        return self._next_page
+
+    def segment(self, name: str) -> Segment:
+        """Look up a segment by name."""
+        for seg in self._segments:
+            if seg.name == name:
+                return seg
+        raise KeyError(f"no segment named {name!r}")
+
+    def segments_of_kind(self, kind: SegmentKind) -> Tuple[Segment, ...]:
+        """All segments of the given kind."""
+        return tuple(s for s in self._segments if s.kind is kind)
+
+    # ------------------------------------------------------------------ #
+    # Page-table access
+    # ------------------------------------------------------------------ #
+
+    def page_nodes(self, segment: Optional[Segment] = None) -> np.ndarray:
+        """Per-page node ids (a *view*; ``UNALLOCATED`` where untouched)."""
+        if segment is None:
+            return self._page_nodes
+        return self._page_nodes[segment.start_page : segment.end_page]
+
+    def _check_range(self, start_page: int, num_pages: int) -> None:
+        if start_page < 0 or num_pages < 0 or start_page + num_pages > self._next_page:
+            raise ValueError(
+                f"page range [{start_page}, {start_page + num_pages}) outside mapped "
+                f"space of {self._next_page} pages"
+            )
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} outside machine with {self.num_nodes} nodes")
+
+    def touch(self, segment: Segment, node: int) -> int:
+        """First-touch all still-unallocated pages of a segment onto ``node``.
+
+        Returns the number of pages that were allocated. Already-backed
+        pages are left where they are, exactly like Linux first-touch.
+        """
+        self._check_node(node)
+        view = self.page_nodes(segment)
+        mask = view == UNALLOCATED
+        view[mask] = node
+        return int(mask.sum())
+
+    def set_pages(self, start_page: int, assignment: np.ndarray) -> int:
+        """Directly assign nodes to a page range; returns pages *moved*.
+
+        A page counts as moved when it was already backed on a different
+        node. Newly backed pages are not migrations.
+        """
+        assignment = np.asarray(assignment, dtype=np.int16)
+        self._check_range(start_page, len(assignment))
+        if len(assignment) and (assignment.min() < 0 or assignment.max() >= self.num_nodes):
+            raise ValueError("assignment contains invalid node ids")
+        view = self._page_nodes[start_page : start_page + len(assignment)]
+        moved = int(((view != UNALLOCATED) & (view != assignment)).sum())
+        view[:] = assignment
+        return moved
+
+    # ------------------------------------------------------------------ #
+    # Placement statistics
+    # ------------------------------------------------------------------ #
+
+    def node_histogram(self, segments: Optional[Iterable[Segment]] = None) -> np.ndarray:
+        """Allocated-page counts per node over the given segments (or all)."""
+        if segments is None:
+            data = self._page_nodes
+        else:
+            parts = [self.page_nodes(s) for s in segments]
+            data = np.concatenate(parts) if parts else np.empty(0, dtype=np.int16)
+        allocated = data[data != UNALLOCATED]
+        return np.bincount(allocated, minlength=self.num_nodes).astype(np.int64)
+
+    def placement_distribution(
+        self, segments: Optional[Iterable[Segment]] = None
+    ) -> np.ndarray:
+        """Fraction of allocated pages on each node (zeros if none allocated)."""
+        hist = self.node_histogram(segments)
+        total = hist.sum()
+        if total == 0:
+            return np.zeros(self.num_nodes)
+        return hist / total
+
+    def allocated_pages(self) -> int:
+        """Number of pages with physical backing."""
+        return int((self._page_nodes != UNALLOCATED).sum())
+
+    def resident_bytes_per_node(self) -> np.ndarray:
+        """Bytes resident on each node."""
+        return self.node_histogram() * self.page_size

@@ -1,0 +1,20 @@
+"""OS-level surface: processes, VMAs, simulated libnuma and numactl."""
+
+from repro.oslib.process import VMA, Process
+from repro.oslib.libnuma import LibNuma
+from repro.oslib.numactl import (
+    NumactlError,
+    NumactlInvocation,
+    parse_nodes,
+    parse_numactl,
+)
+
+__all__ = [
+    "VMA",
+    "Process",
+    "LibNuma",
+    "NumactlError",
+    "NumactlInvocation",
+    "parse_nodes",
+    "parse_numactl",
+]

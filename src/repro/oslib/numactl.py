@@ -1,0 +1,188 @@
+"""A ``numactl``-style front end, including the paper's extension.
+
+The authors "added the weighted interleave option to numactl tool and
+libnuma library to avoid the burden of application-level changes"
+(Section III-B2). This module mirrors the numactl command-line surface
+over the simulated machine: parse the familiar flags, produce the
+placement policy and CPU binding to deploy an application with, and
+support the new ``--weighted-interleave`` option.
+
+Example::
+
+    inv = parse_numactl(machine, ["--interleave=0-3", "--cpunodebind=0,1"])
+    app = Application("a", workload, machine, inv.cpu_nodes, policy=inv.policy)
+
+    inv = parse_numactl(machine, ["--weighted-interleave=0.4,0.3,0.2,0.1"])
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.memsim.mbind import MPol
+from repro.memsim.policies import (
+    FirstTouch,
+    PlacementPolicy,
+    UniformAll,
+    WeightedInterleave,
+)
+from repro.topology.inspect import describe
+from repro.topology.machine import Machine
+
+
+class NumactlError(ValueError):
+    """Raised for malformed or conflicting numactl arguments."""
+
+
+@dataclass(frozen=True)
+class NumactlInvocation:
+    """Parsed outcome of a numactl command line.
+
+    Attributes
+    ----------
+    policy:
+        Placement policy to construct the application with (None for the
+        default first-touch — numactl without memory flags).
+    cpu_nodes:
+        Nodes the threads are bound to (None = scheduler's choice).
+    hardware_report:
+        The ``--hardware`` listing, when requested.
+    """
+
+    policy: Optional[PlacementPolicy]
+    cpu_nodes: Optional[Tuple[int, ...]]
+    hardware_report: Optional[str] = None
+
+
+def parse_nodes(spec: str, machine: Machine) -> Tuple[int, ...]:
+    """Parse a numactl node list: ``"0-2,5"`` or ``"all"``."""
+    spec = spec.strip()
+    if not spec:
+        raise NumactlError("empty node specification")
+    if spec == "all":
+        return machine.node_ids
+    out: List[int] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if "-" in part:
+            try:
+                lo_s, hi_s = part.split("-", 1)
+                lo, hi = int(lo_s), int(hi_s)
+            except ValueError:
+                raise NumactlError(f"malformed node range {part!r}") from None
+            if lo > hi:
+                raise NumactlError(f"inverted node range {part!r}")
+            out.extend(range(lo, hi + 1))
+        else:
+            try:
+                out.append(int(part))
+            except ValueError:
+                raise NumactlError(f"malformed node id {part!r}") from None
+    for node in out:
+        if not 0 <= node < machine.num_nodes:
+            raise NumactlError(f"node {node} does not exist on {machine.name!r}")
+    if len(set(out)) != len(out):
+        raise NumactlError(f"duplicate nodes in {spec!r}")
+    return tuple(out)
+
+
+def _parse_weights(spec: str, machine: Machine) -> np.ndarray:
+    parts = [p.strip() for p in spec.split(",")]
+    try:
+        weights = np.array([float(p) for p in parts])
+    except ValueError:
+        raise NumactlError(f"malformed weight list {spec!r}") from None
+    if len(weights) != machine.num_nodes:
+        raise NumactlError(
+            f"{len(weights)} weights for {machine.num_nodes}-node machine"
+        )
+    if (weights < 0).any() or weights.sum() <= 0:
+        raise NumactlError("weights must be non-negative with positive sum")
+    return weights
+
+
+class _InterleaveSubset(PlacementPolicy):
+    """numactl --interleave over an explicit node subset."""
+
+    name = "numactl-interleave"
+
+    def __init__(self, nodes: Sequence[int]):
+        self.nodes = tuple(nodes)
+
+    def place(self, space, ctx):
+        from repro.memsim.mbind import MbindFlag, mbind_segment
+        from repro.memsim.policies import PlacementStats
+
+        stats = PlacementStats()
+        for seg in space.segments:
+            res = mbind_segment(
+                space, seg, MPol.INTERLEAVE, self.nodes,
+                flags=MbindFlag.MOVE | MbindFlag.STRICT,
+            )
+            stats += PlacementStats(res.pages_touched, res.pages_moved)
+        return stats
+
+
+class _BindSubset(PlacementPolicy):
+    """numactl --membind: all memory from the given nodes (round-robin)."""
+
+    name = "numactl-membind"
+
+    def __init__(self, nodes: Sequence[int]):
+        self.nodes = tuple(nodes)
+
+    def place(self, space, ctx):
+        return _InterleaveSubset(self.nodes).place(space, ctx)
+
+
+def parse_numactl(machine: Machine, args: Sequence[str]) -> NumactlInvocation:
+    """Parse numactl-style arguments into a deployable invocation.
+
+    Supported flags: ``--interleave=<nodes>``, ``--membind=<nodes>``,
+    ``--preferred=<node>``, ``--weighted-interleave=<w0,w1,...>`` (the
+    paper's extension), ``--cpunodebind=<nodes>``, ``--localalloc``,
+    ``--hardware``.
+    """
+    policy: Optional[PlacementPolicy] = None
+    cpu_nodes: Optional[Tuple[int, ...]] = None
+    hardware: Optional[str] = None
+
+    def set_policy(p: PlacementPolicy) -> None:
+        nonlocal policy
+        if policy is not None:
+            raise NumactlError("conflicting memory-policy flags")
+        policy = p
+
+    for arg in args:
+        if arg == "--hardware" or arg == "-H":
+            hardware = describe(machine)
+        elif arg == "--localalloc" or arg == "-l":
+            set_policy(FirstTouch())
+        elif arg.startswith("--interleave="):
+            nodes = parse_nodes(arg.split("=", 1)[1], machine)
+            if nodes == machine.node_ids:
+                set_policy(UniformAll())
+            else:
+                set_policy(_InterleaveSubset(nodes))
+        elif arg.startswith("--membind="):
+            nodes = parse_nodes(arg.split("=", 1)[1], machine)
+            set_policy(_BindSubset(nodes))
+        elif arg.startswith("--preferred="):
+            nodes = parse_nodes(arg.split("=", 1)[1], machine)
+            if len(nodes) != 1:
+                raise NumactlError("--preferred takes exactly one node")
+            set_policy(_BindSubset(nodes))
+        elif arg.startswith("--weighted-interleave="):
+            weights = _parse_weights(arg.split("=", 1)[1], machine)
+            set_policy(WeightedInterleave(weights))
+        elif arg.startswith("--cpunodebind="):
+            cpu_nodes = parse_nodes(arg.split("=", 1)[1], machine)
+        else:
+            raise NumactlError(f"unknown numactl argument {arg!r}")
+
+    return NumactlInvocation(
+        policy=policy, cpu_nodes=cpu_nodes, hardware_report=hardware
+    )

@@ -1,0 +1,30 @@
+"""Performance model: loaded latency, stall rates, counters, profiling.
+
+These components replace the hardware performance counters and profiling
+tools (likwid, NumaMMA) the paper's online tuner and characterisation rely
+on.
+"""
+
+from repro.perf.latency import DEFAULT_LATENCY_MODEL, LatencyModel
+from repro.perf.stalls import (
+    WorkerLoad,
+    slowdown,
+    stall_fraction,
+    stall_rate_cycles_per_s,
+)
+from repro.perf.counters import CounterBank, MeasurementConfig
+from repro.perf.profiler import AccessCharacterisation, AccessProfiler, TrafficSample
+
+__all__ = [
+    "DEFAULT_LATENCY_MODEL",
+    "LatencyModel",
+    "WorkerLoad",
+    "slowdown",
+    "stall_fraction",
+    "stall_rate_cycles_per_s",
+    "CounterBank",
+    "MeasurementConfig",
+    "AccessCharacterisation",
+    "AccessProfiler",
+    "TrafficSample",
+]

@@ -1,0 +1,95 @@
+"""Memory-access characterisation (the paper's NumaMMA [15] stand-in).
+
+Table I of the paper characterises each benchmark by its read/write
+bandwidth demand and its split between thread-private and shared accesses,
+measured while the benchmark runs on one full worker node. This module
+aggregates per-epoch traffic samples emitted by the execution engine into
+exactly those four quantities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.units import GB, MB
+
+
+@dataclass(frozen=True)
+class TrafficSample:
+    """Observed traffic of one application over one simulation epoch."""
+
+    duration_s: float
+    read_gbps: float
+    write_gbps: float
+    private_fraction: float
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration_s}")
+        if self.read_gbps < 0 or self.write_gbps < 0:
+            raise ValueError("rates must be non-negative")
+        if not 0 <= self.private_fraction <= 1:
+            raise ValueError(
+                f"private_fraction must be in [0, 1], got {self.private_fraction}"
+            )
+
+
+@dataclass(frozen=True)
+class AccessCharacterisation:
+    """One row of Table I."""
+
+    name: str
+    reads_mbps: float
+    writes_mbps: float
+    private_pct: float
+    shared_pct: float
+
+    def as_row(self) -> tuple:
+        """Tuple in the paper's column order."""
+        return (self.name, self.reads_mbps, self.writes_mbps, self.private_pct, self.shared_pct)
+
+
+class AccessProfiler:
+    """Accumulates :class:`TrafficSample` records for one application."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._samples: List[TrafficSample] = []
+
+    def record(self, sample: TrafficSample) -> None:
+        """Add one epoch's observation."""
+        self._samples.append(sample)
+
+    def extend(self, samples: Iterable[TrafficSample]) -> None:
+        """Add many observations."""
+        for s in samples:
+            self.record(s)
+
+    @property
+    def num_samples(self) -> int:
+        """Number of recorded epochs."""
+        return len(self._samples)
+
+    def characterise(self) -> AccessCharacterisation:
+        """Time-weighted aggregate in Table I's units (MB/s and %)."""
+        if not self._samples:
+            raise ValueError(f"no samples recorded for {self.name!r}")
+        total_t = sum(s.duration_s for s in self._samples)
+        read_bytes = sum(s.read_gbps * GB * s.duration_s for s in self._samples)
+        write_bytes = sum(s.write_gbps * GB * s.duration_s for s in self._samples)
+        traffic_weighted_private = sum(
+            (s.read_gbps + s.write_gbps) * s.duration_s * s.private_fraction
+            for s in self._samples
+        )
+        total_traffic = sum(
+            (s.read_gbps + s.write_gbps) * s.duration_s for s in self._samples
+        )
+        private = traffic_weighted_private / total_traffic if total_traffic > 0 else 0.0
+        return AccessCharacterisation(
+            name=self.name,
+            reads_mbps=read_bytes / total_t / MB,
+            writes_mbps=write_bytes / total_t / MB,
+            private_pct=100.0 * private,
+            shared_pct=100.0 * (1.0 - private),
+        )

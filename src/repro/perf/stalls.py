@@ -1,0 +1,72 @@
+"""Slowdown and stall-rate model.
+
+The DWP tuner's feedback signal is the *resource stall rate* (stalled
+cycles per second), which the paper notes is strongly correlated with
+execution time (Section III-B1, citing ESTIMA [16]). We derive both from
+the same two mechanisms:
+
+* **Bandwidth starvation** — a worker that demands ``D`` GB/s but achieves
+  ``R < D`` spends ``D/R`` as long on the bandwidth-bound part of its work.
+* **Latency exposure** — the fraction ``lambda`` of the work made of
+  dependent (pointer-chasing) accesses scales with the loaded average
+  latency relative to the unloaded local latency.
+
+Per-worker slowdown:  ``s = (1 - lambda) * max(1, D/R) + lambda * L/L0``.
+The stall rate is the stalled fraction of cycles, ``(s - 1) / s``, which is
+monotone in ``s`` — so minimising the stall rate minimises execution time,
+which is exactly the property the hill-climbing DWP search relies on
+(verified against a static sweep in the Fig. 4 reproduction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WorkerLoad:
+    """Inputs of the slowdown model for one worker node."""
+
+    demand_gbps: float
+    achieved_gbps: float
+    avg_latency_ns: float
+    base_latency_ns: float
+    latency_weight: float
+
+    def __post_init__(self) -> None:
+        if self.demand_gbps < 0 or self.achieved_gbps < 0:
+            raise ValueError("rates must be non-negative")
+        if self.avg_latency_ns <= 0 or self.base_latency_ns <= 0:
+            raise ValueError("latencies must be positive")
+        if not 0 <= self.latency_weight <= 1:
+            raise ValueError(f"latency_weight must be in [0, 1], got {self.latency_weight}")
+
+
+def slowdown(load: WorkerLoad) -> float:
+    """Execution-time multiplier (>= ~1) for a worker under memory pressure.
+
+    1.0 means memory never stalls the worker; 2.0 means the work takes
+    twice as long as its compute-only time.
+    """
+    if load.demand_gbps == 0:
+        return 1.0
+    bw_part = 1.0 if load.achieved_gbps >= load.demand_gbps else (
+        load.demand_gbps / max(load.achieved_gbps, 1e-12)
+    )
+    lat_part = load.avg_latency_ns / load.base_latency_ns
+    return (1.0 - load.latency_weight) * bw_part + load.latency_weight * lat_part
+
+
+def stall_fraction(load: WorkerLoad) -> float:
+    """Fraction of cycles stalled on memory, in [0, 1)."""
+    s = slowdown(load)
+    if s <= 1.0:
+        return 0.0
+    return (s - 1.0) / s
+
+
+def stall_rate_cycles_per_s(load: WorkerLoad, frequency_ghz: float) -> float:
+    """Stalled cycles per second — the counter the DWP tuner reads."""
+    if frequency_ghz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_ghz}")
+    return stall_fraction(load) * frequency_ghz * 1e9

@@ -1,0 +1,421 @@
+"""Machine builders, including the paper's two evaluation machines.
+
+``machine_a`` / ``machine_b`` reproduce the evaluation platforms of
+Section IV; the generic builders (``dual_socket``, ``mesh``, ``ring``,
+``fully_connected``, ``from_bandwidth_matrix``) cover the topologies the
+related literature studies and let users model their own servers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.topology.link import Link
+from repro.topology.machine import Machine
+from repro.topology.node import NUMANode, make_node
+from repro.units import GiB
+
+#: Fig. 1a of the paper: node-to-node bandwidths (GB/s) profiled on the
+#: 8-node AMD Opteron 6272. Rows are the *source* (memory) node, columns the
+#: *destination* (consumer) node; index i corresponds to the paper's N(i+1).
+MACHINE_A_BANDWIDTH_MATRIX: np.ndarray = np.array(
+    [
+        [9.2, 5.5, 4.0, 3.6, 2.8, 1.8, 2.7, 1.8],
+        [5.5, 9.2, 3.6, 4.0, 1.8, 2.8, 1.8, 2.8],
+        [2.9, 3.6, 9.3, 5.5, 4.0, 1.8, 2.9, 1.8],
+        [1.8, 4.0, 5.5, 9.3, 3.6, 2.9, 1.8, 2.9],
+        [4.0, 1.8, 2.9, 1.8, 10.5, 5.4, 2.9, 3.5],
+        [3.6, 2.8, 1.9, 2.9, 5.4, 10.5, 1.8, 4.0],
+        [4.0, 1.8, 2.9, 3.6, 2.9, 1.8, 10.5, 5.4],
+        [3.5, 2.8, 1.8, 4.0, 1.9, 2.8, 5.4, 10.5],
+    ]
+)
+
+#: Fabric latency added per estimated hop on matrix-calibrated machines.
+_HOP_LATENCY_NS = 50.0
+
+#: Bandwidth below this fraction of the best remote entry is treated as a
+#: multi-hop path when estimating latencies from a profiled matrix.
+_TWO_HOP_FRACTION = 0.55
+
+
+def _nodes(
+    n: int,
+    cores_per_node: int,
+    local_bw: Sequence[float],
+    *,
+    memory_per_node: int,
+    frequency_ghz: float,
+    base_latency_ns: float,
+    sockets: Optional[Sequence[int]] = None,
+) -> List[NUMANode]:
+    """Build ``n`` homogeneous-core nodes with per-node local bandwidths."""
+    sockets = sockets if sockets is not None else [0] * n
+    return [
+        make_node(
+            node_id=i,
+            num_cores=cores_per_node,
+            local_bandwidth=local_bw[i],
+            memory_bytes=memory_per_node,
+            frequency_ghz=frequency_ghz,
+            base_latency_ns=base_latency_ns,
+            socket_id=sockets[i],
+            first_core_id=i * cores_per_node,
+        )
+        for i in range(n)
+    ]
+
+
+def from_bandwidth_matrix(
+    matrix: np.ndarray,
+    *,
+    cores_per_node: int = 8,
+    memory_per_node: int = 8 * GiB,
+    frequency_ghz: float = 2.1,
+    base_latency_ns: float = 90.0,
+    remote_ingress_factor: float = 1.0,
+    sockets: Optional[Sequence[int]] = None,
+    name: str = "matrix-machine",
+) -> Machine:
+    """Build a machine whose pairwise bandwidths equal a profiled matrix.
+
+    Every ordered node pair gets a dedicated virtual link with the matrix
+    capacity, so ``Machine.nominal_bandwidth_matrix()`` reproduces the input
+    exactly. Congestion then arises from the shared memory controllers and
+    the per-node remote-ingress ports rather than from shared physical
+    links. This mirrors how BWAP itself consumes a machine: through the
+    profiled ``bw(src -> dst)`` function (Section III-A3).
+
+    Entries whose value is below ``0.55 x`` the row's best remote entry are
+    treated as two-hop paths when estimating access latencies.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"bandwidth matrix must be square, got shape {matrix.shape}")
+    if (matrix <= 0).any():
+        raise ValueError("bandwidth matrix entries must be positive")
+    n = matrix.shape[0]
+    diag = np.diag(matrix)
+    off = matrix + np.where(np.eye(n, dtype=bool), -np.inf, 0.0)
+    if n > 1 and (np.diag(matrix) < off.max(axis=1)).any():
+        raise ValueError("local bandwidth (diagonal) must dominate remote entries per row")
+
+    nodes = _nodes(
+        n,
+        cores_per_node,
+        diag,
+        memory_per_node=memory_per_node,
+        frequency_ghz=frequency_ghz,
+        base_latency_ns=base_latency_ns,
+        sockets=sockets,
+    )
+    links: List[Link] = []
+    for s in range(n):
+        best_remote = off[s].max() if n > 1 else 0.0
+        for d in range(n):
+            if s == d:
+                continue
+            bw = matrix[s, d]
+            hops = 1 if bw >= _TWO_HOP_FRACTION * best_remote else 2
+            links.append(Link(src=s, dst=d, capacity=bw, latency_ns=hops * _HOP_LATENCY_NS))
+    return Machine(
+        nodes,
+        links,
+        remote_ingress_factor=remote_ingress_factor,
+        name=name,
+    )
+
+
+def machine_a(*, remote_ingress_factor: float = 1.0) -> Machine:
+    """The paper's machine A: 4-socket AMD Opteron 6272, 8 NUMA nodes.
+
+    8 cores and 8 GiB per node (64 GiB total), with the strongly asymmetric
+    interconnect of Fig. 1a (bandwidth amplitude 5.8x). Built from the
+    profiled matrix so that the reproduced Fig. 1a matches the paper
+    exactly; see :func:`machine_a_matrix` for the raw matrix.
+    """
+    return from_bandwidth_matrix(
+        MACHINE_A_BANDWIDTH_MATRIX,
+        cores_per_node=8,
+        memory_per_node=8 * GiB,
+        frequency_ghz=2.1,
+        base_latency_ns=90.0,
+        remote_ingress_factor=remote_ingress_factor,
+        sockets=[0, 0, 1, 1, 2, 2, 3, 3],
+        name="machine-A",
+    )
+
+
+def machine_a_matrix() -> np.ndarray:
+    """A copy of the Fig. 1a bandwidth matrix (GB/s)."""
+    return MACHINE_A_BANDWIDTH_MATRIX.copy()
+
+
+#: Matrix entries at or above this value correspond to direct
+#: HyperTransport links on the Opteron; lower values are two-hop paths.
+_MACHINE_A_DIRECT_LINK_THRESHOLD = 2.6
+
+
+def machine_a_topological(*, hop_efficiency: float = 0.47) -> Machine:
+    """Machine A reconstructed with *explicit shared links*.
+
+    The default :func:`machine_a` gives every node pair a dedicated
+    virtual channel calibrated to Fig. 1a (exact pairwise bandwidths;
+    congestion via controllers and ingress ports). This variant instead
+    rebuilds the Opteron's HyperTransport fabric: matrix entries >= 2.6
+    GB/s become physical directed links, the 1.8-1.9 GB/s pairs route over
+    two hops through *shared* links, and ``hop_efficiency`` models the
+    forwarding loss. Multi-hop traffic now contends on real shared links,
+    so this machine exhibits genuine interconnect congestion at the cost
+    of only approximating Fig. 1a (the 2-hop entries come out within
+    ~15% of the paper's values).
+    """
+    m = MACHINE_A_BANDWIDTH_MATRIX
+    n = m.shape[0]
+    nodes = _nodes(
+        n,
+        8,
+        np.diag(m),
+        memory_per_node=8 * GiB,
+        frequency_ghz=2.1,
+        base_latency_ns=90.0,
+        sockets=[0, 0, 1, 1, 2, 2, 3, 3],
+    )
+    links: List[Link] = []
+    for s in range(n):
+        for d in range(n):
+            if s == d or m[s, d] < _MACHINE_A_DIRECT_LINK_THRESHOLD:
+                continue
+            links.append(
+                Link(src=s, dst=d, capacity=float(m[s, d]), latency_ns=_HOP_LATENCY_NS)
+            )
+    return Machine(
+        nodes,
+        links,
+        hop_efficiency=hop_efficiency,
+        remote_ingress_factor=1.0,
+        name="machine-A-topological",
+    )
+
+
+def machine_b(*, remote_ingress_factor: float = 1.0) -> Machine:
+    """The paper's machine B: 2-socket Intel Xeon E5-2660 v4, CoD mode.
+
+    4 NUMA nodes (two Cluster-on-Die nodes per socket), 7 cores and 8 GiB
+    per node (32 GiB total). The topology is simpler and only mildly
+    asymmetric: the paper reports a 2.3x amplitude between the local
+    bandwidth and the weakest remote path, versus 5.8x on machine A.
+    """
+    local, intra, inter = 25.0, 16.0, 11.0  # GB/s; 25/11 ~ 2.3x amplitude
+    matrix = np.array(
+        [
+            [local, intra, inter, inter],
+            [intra, local, inter, inter],
+            [inter, inter, local, intra],
+            [inter, inter, intra, local],
+        ]
+    )
+    return from_bandwidth_matrix(
+        matrix,
+        cores_per_node=7,
+        memory_per_node=8 * GiB,
+        frequency_ghz=2.0,
+        base_latency_ns=80.0,
+        remote_ingress_factor=remote_ingress_factor,
+        sockets=[0, 0, 1, 1],
+        name="machine-B",
+    )
+
+
+def hybrid_dram_nvm(
+    *,
+    dram_nodes: int = 2,
+    nvm_nodes: int = 2,
+    cores_per_node: int = 8,
+    dram_bw: float = 25.0,
+    nvm_bw: float = 8.0,
+    interconnect_bw: float = 14.0,
+    dram_latency_ns: float = 85.0,
+    nvm_latency_ns: float = 320.0,
+    memory_per_node: int = 8 * GiB,
+    name: str = "hybrid-dram-nvm",
+) -> Machine:
+    """A NUMA machine whose nodes mix DRAM and NVM (paper Section VI).
+
+    The paper's future work targets "NUMA systems whose nodes have hybrid
+    memory subsystems (e.g. DRAM and NVRAM)". We model the common
+    deployment: compute nodes backed by DRAM plus *memory-only* NVM nodes
+    (no cores) with lower bandwidth and higher access latency. BWAP's
+    pipeline needs no changes — the canonical tuner's profiled matrix
+    already captures the NVM nodes' inferior bandwidth and weights them
+    down, exactly as the bandwidth-aware tiered-memory work ([11], [23],
+    [43]) prescribes.
+    """
+    if dram_nodes < 1:
+        raise ValueError(f"need at least one DRAM (compute) node, got {dram_nodes}")
+    if nvm_nodes < 0:
+        raise ValueError(f"nvm_nodes must be non-negative, got {nvm_nodes}")
+    if nvm_bw >= dram_bw:
+        raise ValueError(
+            f"NVM bandwidth ({nvm_bw}) should be below DRAM bandwidth ({dram_bw})"
+        )
+    n = dram_nodes + nvm_nodes
+    nodes: List[NUMANode] = []
+    next_core = 0
+    for i in range(n):
+        is_dram = i < dram_nodes
+        nodes.append(
+            make_node(
+                node_id=i,
+                num_cores=cores_per_node if is_dram else 0,
+                local_bandwidth=dram_bw if is_dram else nvm_bw,
+                memory_bytes=memory_per_node,
+                base_latency_ns=dram_latency_ns if is_dram else nvm_latency_ns,
+                socket_id=0 if is_dram else 1,
+                first_core_id=next_core,
+            )
+        )
+        if is_dram:
+            next_core += cores_per_node
+    links: List[Link] = []
+    for a in range(n):
+        for b in range(n):
+            if a == b:
+                continue
+            links.append(
+                Link(src=a, dst=b, capacity=interconnect_bw, latency_ns=_HOP_LATENCY_NS)
+            )
+    return Machine(nodes, links, name=name)
+
+
+def dual_socket(
+    *,
+    nodes_per_socket: int = 2,
+    cores_per_node: int = 8,
+    local_bw: float = 25.0,
+    intra_socket_bw: float = 16.0,
+    inter_socket_bw: float = 11.0,
+    memory_per_node: int = 8 * GiB,
+    name: str = "dual-socket",
+) -> Machine:
+    """A generic 2-socket machine with ``nodes_per_socket`` nodes per socket."""
+    if nodes_per_socket < 1:
+        raise ValueError(f"nodes_per_socket must be >= 1, got {nodes_per_socket}")
+    n = 2 * nodes_per_socket
+    sockets = [i // nodes_per_socket for i in range(n)]
+    matrix = np.full((n, n), inter_socket_bw)
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                matrix[i, j] = local_bw
+            elif sockets[i] == sockets[j]:
+                matrix[i, j] = intra_socket_bw
+    return from_bandwidth_matrix(
+        matrix,
+        cores_per_node=cores_per_node,
+        memory_per_node=memory_per_node,
+        sockets=sockets,
+        name=name,
+    )
+
+
+def fully_connected(
+    n: int,
+    *,
+    cores_per_node: int = 8,
+    local_bw: float = 20.0,
+    remote_bw: float = 8.0,
+    memory_per_node: int = 8 * GiB,
+    name: str = "fully-connected",
+) -> Machine:
+    """A symmetric machine where every node pair has an equal direct link.
+
+    This is the (obsolete, per the paper's argument) symmetric architecture
+    that uniform interleaving implicitly assumes; useful as a control.
+    """
+    if n < 1:
+        raise ValueError(f"node count must be >= 1, got {n}")
+    matrix = np.full((n, n), remote_bw)
+    np.fill_diagonal(matrix, local_bw)
+    return from_bandwidth_matrix(
+        matrix,
+        cores_per_node=cores_per_node,
+        memory_per_node=memory_per_node,
+        name=name,
+    )
+
+
+def ring(
+    n: int,
+    *,
+    cores_per_node: int = 8,
+    local_bw: float = 20.0,
+    link_bw: float = 10.0,
+    memory_per_node: int = 8 * GiB,
+    hop_efficiency: float = 0.7,
+    name: str = "ring",
+) -> Machine:
+    """A ring of ``n`` nodes with explicit shared physical links.
+
+    Unlike matrix-calibrated machines, rings route multi-hop traffic over
+    *shared* links, so the flow solver exhibits genuine link congestion.
+    """
+    if n < 2:
+        raise ValueError(f"ring needs >= 2 nodes, got {n}")
+    nodes = _nodes(
+        n,
+        cores_per_node,
+        [local_bw] * n,
+        memory_per_node=memory_per_node,
+        frequency_ghz=2.1,
+        base_latency_ns=90.0,
+    )
+    links: List[Link] = []
+    for i in range(n):
+        j = (i + 1) % n
+        links.append(Link(src=i, dst=j, capacity=link_bw, latency_ns=_HOP_LATENCY_NS))
+        links.append(Link(src=j, dst=i, capacity=link_bw, latency_ns=_HOP_LATENCY_NS))
+    return Machine(nodes, links, hop_efficiency=hop_efficiency, name=name)
+
+
+def mesh(
+    rows: int,
+    cols: int,
+    *,
+    cores_per_node: int = 8,
+    local_bw: float = 20.0,
+    link_bw: float = 10.0,
+    memory_per_node: int = 8 * GiB,
+    hop_efficiency: float = 0.7,
+    name: str = "mesh",
+) -> Machine:
+    """A ``rows x cols`` 2-D mesh with explicit shared physical links."""
+    if rows < 1 or cols < 1:
+        raise ValueError(f"mesh dimensions must be >= 1, got {rows}x{cols}")
+    n = rows * cols
+    if n < 2:
+        raise ValueError("mesh needs >= 2 nodes")
+    nodes = _nodes(
+        n,
+        cores_per_node,
+        [local_bw] * n,
+        memory_per_node=memory_per_node,
+        frequency_ghz=2.1,
+        base_latency_ns=90.0,
+    )
+    links: List[Link] = []
+
+    def nid(r: int, c: int) -> int:
+        return r * cols + c
+
+    for r in range(rows):
+        for c in range(cols):
+            for dr, dc in ((0, 1), (1, 0)):
+                rr, cc = r + dr, c + dc
+                if rr < rows and cc < cols:
+                    a, b = nid(r, c), nid(rr, cc)
+                    links.append(Link(src=a, dst=b, capacity=link_bw, latency_ns=_HOP_LATENCY_NS))
+                    links.append(Link(src=b, dst=a, capacity=link_bw, latency_ns=_HOP_LATENCY_NS))
+    return Machine(nodes, links, hop_efficiency=hop_efficiency, name=name)

@@ -1,0 +1,58 @@
+"""Directed interconnect links.
+
+The paper stresses that contemporary NUMA interconnects are *asymmetric*:
+distinct links have distinct bandwidths, and the two directions of the same
+physical link may differ (Fig. 1a shows both effects on the AMD Opteron).
+We therefore model every direction as its own :class:`Link`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Link:
+    """A directed interconnect link between two NUMA nodes.
+
+    Attributes
+    ----------
+    src, dst:
+        Endpoint node ids (direction is ``src -> dst``; data flows from the
+        memory at ``src`` toward the consumer at ``dst``).
+    capacity:
+        Peak bandwidth of this direction in GB/s.
+    latency_ns:
+        Propagation latency contributed by traversing this link.
+    """
+
+    src: int
+    dst: int
+    capacity: float
+    latency_ns: float = 40.0
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError(f"link endpoints must differ, got self-loop at node {self.src}")
+        if self.capacity <= 0:
+            raise ValueError(f"link capacity must be positive, got {self.capacity}")
+        if self.latency_ns < 0:
+            raise ValueError(f"link latency must be non-negative, got {self.latency_ns}")
+
+    @property
+    def endpoints(self) -> tuple:
+        """``(src, dst)`` pair identifying this directed link."""
+        return (self.src, self.dst)
+
+    def reversed(self, capacity: float = None, latency_ns: float = None) -> "Link":
+        """Return the opposite-direction link.
+
+        Capacity/latency default to this link's values; pass explicit values
+        to model direction-dependent bandwidth (as seen in Fig. 1a).
+        """
+        return Link(
+            src=self.dst,
+            dst=self.src,
+            capacity=self.capacity if capacity is None else capacity,
+            latency_ns=self.latency_ns if latency_ns is None else latency_ns,
+        )

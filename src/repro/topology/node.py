@@ -1,0 +1,151 @@
+"""NUMA node, core, and memory-controller models.
+
+The paper's system model (Section III-A1) abstracts each NUMA node as one or
+more multi-core CPUs plus a single logical memory controller whose bandwidth
+is the aggregate of the node's real channels. We model exactly that: a
+:class:`NUMANode` owns a set of :class:`Core` objects and one
+:class:`MemoryController`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.units import GiB
+
+
+@dataclass(frozen=True)
+class Core:
+    """A hardware thread context.
+
+    Attributes
+    ----------
+    core_id:
+        Machine-global core index.
+    node_id:
+        Id of the NUMA node this core belongs to.
+    frequency_ghz:
+        Nominal clock frequency; used to convert stall cycles to seconds.
+    """
+
+    core_id: int
+    node_id: int
+    frequency_ghz: float = 2.1
+
+    def __post_init__(self) -> None:
+        if self.frequency_ghz <= 0:
+            raise ValueError(f"core frequency must be positive, got {self.frequency_ghz}")
+
+
+@dataclass(frozen=True)
+class MemoryController:
+    """Aggregate memory controller of one NUMA node.
+
+    Attributes
+    ----------
+    node_id:
+        Owning node.
+    peak_bandwidth:
+        Peak local read bandwidth in GB/s (the diagonal of Fig. 1a).
+    capacity_bytes:
+        Amount of DRAM attached to this controller.
+    base_latency_ns:
+        Unloaded access latency for a local access.
+    """
+
+    node_id: int
+    peak_bandwidth: float
+    capacity_bytes: int = 8 * GiB
+    base_latency_ns: float = 90.0
+
+    def __post_init__(self) -> None:
+        if self.peak_bandwidth <= 0:
+            raise ValueError(f"controller bandwidth must be positive, got {self.peak_bandwidth}")
+        if self.capacity_bytes <= 0:
+            raise ValueError(f"memory capacity must be positive, got {self.capacity_bytes}")
+        if self.base_latency_ns <= 0:
+            raise ValueError(f"base latency must be positive, got {self.base_latency_ns}")
+
+
+@dataclass
+class NUMANode:
+    """One NUMA node: cores + local memory behind one logical controller.
+
+    The paper assumes homogeneous nodes (same core count, frequency, local
+    bandwidth); our model does not require that, so heterogeneous machines
+    can be expressed too (the paper lists them as future work).
+    """
+
+    node_id: int
+    cores: List[Core] = field(default_factory=list)
+    controller: MemoryController = None  # type: ignore[assignment]
+    socket_id: int = 0
+
+    def __post_init__(self) -> None:
+        if self.controller is None:
+            raise ValueError("NUMANode requires a MemoryController")
+        if self.controller.node_id != self.node_id:
+            raise ValueError(
+                f"controller node_id {self.controller.node_id} does not match node {self.node_id}"
+            )
+        for core in self.cores:
+            if core.node_id != self.node_id:
+                raise ValueError(
+                    f"core {core.core_id} belongs to node {core.node_id}, not {self.node_id}"
+                )
+
+    @property
+    def num_cores(self) -> int:
+        """Number of hardware threads on this node."""
+        return len(self.cores)
+
+    @property
+    def local_bandwidth(self) -> float:
+        """Peak local memory bandwidth in GB/s."""
+        return self.controller.peak_bandwidth
+
+    @property
+    def memory_bytes(self) -> int:
+        """DRAM capacity of this node in bytes."""
+        return self.controller.capacity_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NUMANode(id={self.node_id}, cores={self.num_cores}, "
+            f"local_bw={self.local_bandwidth}GB/s, socket={self.socket_id})"
+        )
+
+
+def make_node(
+    node_id: int,
+    num_cores: int,
+    local_bandwidth: float,
+    *,
+    memory_bytes: int = 8 * GiB,
+    frequency_ghz: float = 2.1,
+    base_latency_ns: float = 90.0,
+    socket_id: int = 0,
+    first_core_id: int = 0,
+) -> NUMANode:
+    """Convenience constructor that builds a node with ``num_cores`` cores.
+
+    Parameters mirror the fields of :class:`NUMANode`; ``first_core_id``
+    sets the machine-global id of the node's first core so that builders can
+    assign globally unique core ids. ``num_cores=0`` creates a memory-only
+    node (an NVM/CXL memory expander — the hybrid-memory NUMA systems the
+    paper's Section VI targets).
+    """
+    if num_cores < 0:
+        raise ValueError(f"core count must be non-negative, got {num_cores}")
+    cores = [
+        Core(core_id=first_core_id + i, node_id=node_id, frequency_ghz=frequency_ghz)
+        for i in range(num_cores)
+    ]
+    controller = MemoryController(
+        node_id=node_id,
+        peak_bandwidth=local_bandwidth,
+        capacity_bytes=memory_bytes,
+        base_latency_ns=base_latency_ns,
+    )
+    return NUMANode(node_id=node_id, cores=cores, controller=controller, socket_id=socket_id)

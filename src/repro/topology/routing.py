@@ -1,0 +1,173 @@
+"""Static routing over the NUMA interconnect.
+
+NUMA interconnects use static, table-driven routing (e.g. HyperTransport
+routing tables). We model this with a :class:`RoutingTable` computed once per
+machine: for every ordered node pair it stores a single fixed :class:`Route`.
+
+Route selection follows the widest-shortest-path rule: among all minimum-hop
+paths, pick the one with the largest bottleneck capacity (ties broken by
+lowest next-hop node id, which makes routes deterministic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.topology.link import Link
+
+
+@dataclass(frozen=True)
+class Route:
+    """A fixed path from a memory node to a consuming node.
+
+    Attributes
+    ----------
+    nodes:
+        Node ids along the path, starting at the memory (source) node and
+        ending at the consuming (destination) node. A local access has a
+        single-element path.
+    links:
+        The directed links traversed, in order (empty for local access).
+    """
+
+    nodes: Tuple[int, ...]
+    links: Tuple[Link, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.nodes) == 0:
+            raise ValueError("route must contain at least one node")
+        if len(self.links) != len(self.nodes) - 1:
+            raise ValueError(
+                f"route with {len(self.nodes)} nodes must have {len(self.nodes) - 1} links, "
+                f"got {len(self.links)}"
+            )
+        for link, (a, b) in zip(self.links, zip(self.nodes, self.nodes[1:])):
+            if link.src != a or link.dst != b:
+                raise ValueError(f"link {link.endpoints} does not connect {a}->{b}")
+
+    @property
+    def src(self) -> int:
+        """Memory node the data comes from."""
+        return self.nodes[0]
+
+    @property
+    def dst(self) -> int:
+        """Node consuming the data."""
+        return self.nodes[-1]
+
+    @property
+    def hops(self) -> int:
+        """Number of interconnect links traversed (0 for local)."""
+        return len(self.links)
+
+    @property
+    def is_local(self) -> bool:
+        """True when source and destination are the same node."""
+        return self.hops == 0
+
+    @property
+    def bottleneck(self) -> float:
+        """Smallest link capacity along the path (inf for local access)."""
+        if not self.links:
+            return float("inf")
+        return min(link.capacity for link in self.links)
+
+    @property
+    def latency_ns(self) -> float:
+        """Total interconnect propagation latency along the path."""
+        return sum(link.latency_ns for link in self.links)
+
+
+class RoutingTable:
+    """Widest-shortest-path routes for every ordered node pair.
+
+    Parameters
+    ----------
+    node_ids:
+        All node ids in the machine.
+    links:
+        All directed links. There must be a path between every node pair,
+        otherwise :meth:`route` raises ``KeyError`` for the missing pair.
+    """
+
+    def __init__(self, node_ids: Sequence[int], links: Sequence[Link]):
+        self._node_ids = tuple(node_ids)
+        self._adjacency: Dict[int, List[Link]] = {n: [] for n in node_ids}
+        for link in links:
+            if link.src not in self._adjacency or link.dst not in self._adjacency:
+                raise ValueError(f"link {link.endpoints} references unknown node")
+            self._adjacency[link.src].append(link)
+        for out in self._adjacency.values():
+            out.sort(key=lambda l: l.dst)
+        self._routes: Dict[Tuple[int, int], Route] = {}
+        for src in node_ids:
+            self._compute_from(src)
+
+    def _compute_from(self, src: int) -> None:
+        """Compute widest-shortest routes from memory node ``src`` to all nodes.
+
+        BFS determines hop distance; a DP pass over the shortest-path DAG
+        maximises the bottleneck capacity.
+        """
+        INF = float("inf")
+        dist: Dict[int, int] = {src: 0}
+        frontier = [src]
+        order: List[int] = [src]
+        while frontier:
+            nxt: List[int] = []
+            for u in frontier:
+                for link in self._adjacency[u]:
+                    if link.dst not in dist:
+                        dist[link.dst] = dist[u] + 1
+                        nxt.append(link.dst)
+                        order.append(link.dst)
+            frontier = nxt
+
+        # best[v] = (bottleneck, predecessor link) along the min-hop DAG.
+        best: Dict[int, Tuple[float, Link]] = {src: (INF, None)}  # type: ignore[dict-item]
+        for v in order:
+            if v == src:
+                continue
+            candidates: List[Tuple[float, Link]] = []
+            for u in order:
+                if dist.get(u, -1) != dist[v] - 1:
+                    continue
+                if u not in best:
+                    continue
+                for link in self._adjacency[u]:
+                    if link.dst == v:
+                        candidates.append((min(best[u][0], link.capacity), link))
+            if not candidates:
+                continue
+            # Max bottleneck; ties broken by smallest predecessor node id for
+            # determinism.
+            candidates.sort(key=lambda c: (-c[0], c[1].src))
+            best[v] = candidates[0]
+
+        for v in dist:
+            path_links: List[Link] = []
+            cur = v
+            while cur != src:
+                _, pred_link = best[cur]
+                path_links.append(pred_link)
+                cur = pred_link.src
+            path_links.reverse()
+            nodes = (src,) + tuple(l.dst for l in path_links)
+            self._routes[(src, v)] = Route(nodes=nodes, links=tuple(path_links))
+
+    def route(self, src: int, dst: int) -> Route:
+        """The fixed route carrying data from memory node ``src`` to ``dst``."""
+        try:
+            return self._routes[(src, dst)]
+        except KeyError:
+            raise KeyError(f"no route from node {src} to node {dst}") from None
+
+    def all_routes(self) -> Dict[Tuple[int, int], Route]:
+        """A copy of the full routing table."""
+        return dict(self._routes)
+
+    def is_fully_connected(self) -> bool:
+        """True when every ordered node pair has a route."""
+        n = len(self._node_ids)
+        return len(self._routes) == n * n

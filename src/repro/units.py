@@ -1,0 +1,45 @@
+"""Physical units and constants shared across the simulator.
+
+All bandwidths inside the simulator are expressed in **GB/s** (as in the
+paper's Fig. 1a), all memory sizes in **bytes**, all times in **seconds**,
+and all latencies in **nanoseconds** unless a name says otherwise.
+"""
+
+from __future__ import annotations
+
+#: Bytes per kibibyte / mebibyte / gibibyte.
+KiB: int = 1024
+MiB: int = 1024 * KiB
+GiB: int = 1024 * MiB
+
+#: Decimal megabyte/gigabyte, used when mirroring the paper's MB/s figures.
+MB: int = 1_000_000
+GB: int = 1_000_000_000
+
+#: Default Linux page size used throughout the paper's evaluation (4 KB).
+PAGE_SIZE: int = 4 * KiB
+
+#: Nanoseconds per second.
+NS_PER_S: float = 1e9
+
+
+def gbps_to_bytes_per_s(gbps: float) -> float:
+    """Convert a GB/s bandwidth figure to bytes/second."""
+    return gbps * GB
+
+
+def bytes_per_s_to_gbps(bps: float) -> float:
+    """Convert bytes/second to GB/s."""
+    return bps / GB
+
+
+def mbps_to_gbps(mbps: float) -> float:
+    """Convert MB/s (paper Table I units) to GB/s."""
+    return mbps / 1000.0
+
+
+def bytes_to_pages(n_bytes: int, page_size: int = PAGE_SIZE) -> int:
+    """Number of pages needed to hold ``n_bytes`` (rounded up)."""
+    if n_bytes < 0:
+        raise ValueError(f"byte count must be non-negative, got {n_bytes}")
+    return -(-n_bytes // page_size)

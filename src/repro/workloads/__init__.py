@@ -1,0 +1,35 @@
+"""Workload models: the paper's benchmark suite plus synthetic generation."""
+
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.suites import (
+    by_name,
+    canonical_stream,
+    ft_c,
+    ocean_cp,
+    ocean_ncp,
+    paper_benchmarks,
+    sp_b,
+    streamcluster,
+    swaptions,
+)
+from repro.workloads.phases import Phase, PhasedWorkload, two_phase
+from repro.workloads.generator import WorkloadRanges, random_workload, workload_sweep
+
+__all__ = [
+    "WorkloadSpec",
+    "by_name",
+    "canonical_stream",
+    "ft_c",
+    "ocean_cp",
+    "ocean_ncp",
+    "paper_benchmarks",
+    "sp_b",
+    "streamcluster",
+    "swaptions",
+    "Phase",
+    "PhasedWorkload",
+    "two_phase",
+    "WorkloadRanges",
+    "random_workload",
+    "workload_sweep",
+]

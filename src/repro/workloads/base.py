@@ -1,0 +1,196 @@
+"""Parametric workload model.
+
+The paper treats applications as black boxes characterised by their memory
+demand: read/write bandwidth, private-vs-shared access split (Table I),
+scalability (which determines the optimal worker count in Fig. 3c/d), and
+latency-vs-bandwidth sensitivity (Observation 2). :class:`WorkloadSpec`
+captures exactly those knobs; the execution engine derives per-node demand
+and progress from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.units import GiB, MiB
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A memory-demand model of one application.
+
+    Bandwidth figures are calibrated like the paper's Table I: the demand of
+    the application running on **one full worker node** with
+    ``reference_threads`` threads, in GB/s.
+
+    Attributes
+    ----------
+    name:
+        Benchmark label (e.g. ``"SC"`` for Streamcluster).
+    read_bw_node / write_bw_node:
+        Full-speed read/write demand (GB/s) of one fully-populated node.
+    private_fraction:
+        Fraction of memory accesses that target thread-private pages
+        (Table I column "Private Accesses").
+    latency_weight:
+        Fraction of the work whose speed follows access *latency* rather
+        than bandwidth (the paper's latency-sensitive vs BW-sensitive
+        spectrum that the DWP tuner navigates).
+    serial_fraction:
+        Amdahl serial fraction; bounds thread scalability.
+    multi_node_penalty:
+        Relative efficiency lost per additional worker *node* (coherence
+        and synchronisation across sockets). This is what makes some
+        applications' optimal worker count smaller than the machine
+        (e.g. SP.B peaks at one node in Fig. 3c/d).
+    shared_bytes:
+        Size of the shared dataset (placed by the policies under study).
+    private_bytes_per_thread:
+        Size of each thread's private data.
+    work_bytes:
+        Total traffic (reads + writes) the application must perform to
+        finish; sets the absolute execution time.
+    reference_threads:
+        Thread count at which the node demand was characterised.
+    write_shared_only:
+        When True, write traffic targets shared pages only (Streamcluster's
+        profile); otherwise writes follow the private/shared split.
+    peak_threads:
+        Thread count beyond which the application stops scaling and starts
+        *degrading* (lock contention, work-queue contention). ``None``
+        means pure Amdahl behaviour. This is what caps Streamcluster's
+        optimal deployment at 4 of machine A's 8 nodes (Fig. 3c).
+    oversubscription_decline:
+        Fractional speedup loss per doubling of the thread count beyond
+        ``peak_threads``.
+    """
+
+    name: str
+    read_bw_node: float
+    write_bw_node: float
+    private_fraction: float
+    latency_weight: float
+    serial_fraction: float = 0.02
+    multi_node_penalty: float = 0.0
+    shared_bytes: int = 1 * GiB
+    private_bytes_per_thread: int = 64 * MiB
+    work_bytes: float = 500.0 * 1e9
+    reference_threads: int = 7
+    write_shared_only: bool = False
+    peak_threads: Optional[int] = None
+    oversubscription_decline: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.read_bw_node < 0 or self.write_bw_node < 0:
+            raise ValueError("bandwidth demands must be non-negative")
+        if self.read_bw_node + self.write_bw_node <= 0:
+            raise ValueError(f"workload {self.name!r} must demand some bandwidth")
+        for attr in ("private_fraction", "latency_weight", "serial_fraction"):
+            v = getattr(self, attr)
+            if not 0 <= v <= 1:
+                raise ValueError(f"{attr} must be in [0, 1], got {v}")
+        if self.multi_node_penalty < 0:
+            raise ValueError(f"multi_node_penalty must be >= 0, got {self.multi_node_penalty}")
+        if self.shared_bytes <= 0 or self.private_bytes_per_thread < 0:
+            raise ValueError("dataset sizes must be positive (private may be zero)")
+        if self.work_bytes <= 0:
+            raise ValueError(f"work_bytes must be positive, got {self.work_bytes}")
+        if self.reference_threads <= 0:
+            raise ValueError(f"reference_threads must be positive, got {self.reference_threads}")
+        if self.peak_threads is not None and self.peak_threads <= 0:
+            raise ValueError(f"peak_threads must be positive, got {self.peak_threads}")
+        if not 0 <= self.oversubscription_decline < 1:
+            raise ValueError(
+                f"oversubscription_decline must be in [0, 1), got "
+                f"{self.oversubscription_decline}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Derived demand quantities
+    # ------------------------------------------------------------------ #
+
+    @property
+    def total_bw_node(self) -> float:
+        """Aggregate (read + write) full-node demand, GB/s."""
+        return self.read_bw_node + self.write_bw_node
+
+    @property
+    def per_thread_bw(self) -> float:
+        """Full-speed demand of one thread, GB/s."""
+        return self.total_bw_node / self.reference_threads
+
+    @property
+    def write_fraction(self) -> float:
+        """Writes as a fraction of all traffic."""
+        return self.write_bw_node / self.total_bw_node
+
+    @property
+    def shared_fraction(self) -> float:
+        """Fraction of accesses to shared pages."""
+        return 1.0 - self.private_fraction
+
+    def speedup(self, threads: int) -> float:
+        """Speedup over one thread: Amdahl up to ``peak_threads``, then a
+        geometric decline per doubling (lock/queue contention)."""
+        if threads <= 0:
+            raise ValueError(f"threads must be positive, got {threads}")
+        f = self.serial_fraction
+        effective = threads if self.peak_threads is None else min(threads, self.peak_threads)
+        base = 1.0 / (f + (1.0 - f) / effective)
+        if self.peak_threads is not None and threads > self.peak_threads:
+            doublings = np.log2(threads / self.peak_threads)
+            base *= (1.0 - self.oversubscription_decline) ** doublings
+        return base
+
+    def node_efficiency(self, num_worker_nodes: int) -> float:
+        """Fraction of memory traffic that is *useful* work when spanning
+        multiple worker nodes.
+
+        Cross-node coherence and synchronisation do not reduce the traffic
+        an application issues — they waste it: a poorly-scaling application
+        at 2 nodes still hammers the memory system, but a smaller share of
+        that traffic advances the computation. Execution progress is
+        therefore ``demand x node_efficiency`` while contention is driven
+        by the full demand.
+        """
+        if num_worker_nodes <= 0:
+            raise ValueError(f"num_worker_nodes must be positive, got {num_worker_nodes}")
+        return 1.0 / (1.0 + self.multi_node_penalty * (num_worker_nodes - 1))
+
+    def demand_gbps(self, total_threads: int, num_worker_nodes: int) -> float:
+        """Aggregate full-speed traffic demand (GB/s) of a deployment.
+
+        Scales with the Amdahl speedup (normalised to the per-thread
+        demand). Deliberately *not* reduced by the multi-node penalty —
+        see :meth:`node_efficiency`.
+        """
+        del num_worker_nodes  # traffic is issued regardless of its usefulness
+        return self.per_thread_bw * self.speedup(total_threads)
+
+    def node_demand_gbps(
+        self, threads_on_node: int, total_threads: int, num_worker_nodes: int
+    ) -> float:
+        """Full-speed demand (GB/s) generated by one worker node's threads."""
+        if total_threads <= 0 or threads_on_node < 0 or threads_on_node > total_threads:
+            raise ValueError(
+                f"invalid thread split {threads_on_node}/{total_threads}"
+            )
+        total = self.demand_gbps(total_threads, num_worker_nodes)
+        return total * threads_on_node / total_threads
+
+    def ideal_time_s(self, total_threads: int, num_worker_nodes: int) -> float:
+        """Execution time with memory never stalling (the compute floor)."""
+        useful = self.demand_gbps(total_threads, num_worker_nodes) * self.node_efficiency(
+            num_worker_nodes
+        )
+        return self.work_bytes / 1e9 / useful
+
+    def read_write_split(self, rate_gbps: float) -> Tuple[float, float]:
+        """Split an achieved traffic rate into (read, write) components."""
+        if rate_gbps < 0:
+            raise ValueError(f"rate must be non-negative, got {rate_gbps}")
+        w = self.write_fraction
+        return (rate_gbps * (1 - w), rate_gbps * w)

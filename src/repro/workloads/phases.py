@@ -1,0 +1,104 @@
+"""Phased workloads: applications whose access pattern changes over time.
+
+The paper's DWP tuner targets applications that "after an initial stage,
+enter an execution stage with stable memory access behavior"; extending
+BWAP to applications whose patterns *change over time* is explicitly listed
+as future work (Section VI). :class:`PhasedWorkload` models such
+applications as a sequence of stable stages, each a full
+:class:`~repro.workloads.base.WorkloadSpec`, split by fractions of the
+total work. The engine's :class:`~repro.engine.phased.PhasedApplication`
+switches the active spec as work progresses, and
+:class:`~repro.core.adaptive.AdaptiveBWAP` detects the shift and re-tunes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.workloads.base import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One stable stage of a phased application."""
+
+    spec: WorkloadSpec
+    work_fraction: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.work_fraction <= 1:
+            raise ValueError(
+                f"work_fraction must be in (0, 1], got {self.work_fraction}"
+            )
+
+
+class PhasedWorkload:
+    """An ordered sequence of stable phases.
+
+    All phases share one address-space shape (the first phase's dataset
+    sizes are used) but may differ in demand, private/shared split, and
+    latency sensitivity — the properties that change which placement is
+    optimal.
+
+    Parameters
+    ----------
+    name:
+        Label of the composite workload.
+    phases:
+        ``(spec, work_fraction)`` pairs; fractions must sum to 1.
+    """
+
+    def __init__(
+        self, name: str, phases: Sequence[Tuple[WorkloadSpec, float]]
+    ):
+        if not phases:
+            raise ValueError("a phased workload needs at least one phase")
+        self.name = name
+        self.phases: List[Phase] = [Phase(spec, frac) for spec, frac in phases]
+        total = sum(p.work_fraction for p in self.phases)
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"phase work fractions must sum to 1, got {total}")
+
+    @property
+    def num_phases(self) -> int:
+        """Number of stages."""
+        return len(self.phases)
+
+    @property
+    def total_work_bytes(self) -> float:
+        """Work across all phases (the first spec's work_bytes scales it)."""
+        return self.phases[0].spec.work_bytes
+
+    def phase_at(self, done_fraction: float) -> Phase:
+        """The active phase after ``done_fraction`` of the work completed."""
+        if not 0 <= done_fraction <= 1 + 1e-9:
+            raise ValueError(f"done_fraction must be in [0, 1], got {done_fraction}")
+        acc = 0.0
+        for phase in self.phases:
+            acc += phase.work_fraction
+            if done_fraction < acc - 1e-12:
+                return phase
+        return self.phases[-1]
+
+    def boundaries(self) -> List[float]:
+        """Cumulative work fractions at which phases switch."""
+        out: List[float] = []
+        acc = 0.0
+        for phase in self.phases[:-1]:
+            acc += phase.work_fraction
+            out.append(acc)
+        return out
+
+
+def two_phase(
+    name: str,
+    first: WorkloadSpec,
+    second: WorkloadSpec,
+    *,
+    split: float = 0.5,
+) -> PhasedWorkload:
+    """Convenience builder for the common A-then-B pattern."""
+    if not 0 < split < 1:
+        raise ValueError(f"split must be in (0, 1), got {split}")
+    return PhasedWorkload(name, [(first, split), (second, 1.0 - split)])

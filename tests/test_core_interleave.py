@@ -1,0 +1,157 @@
+"""Algorithm 1 (user-level weighted interleave) and the kernel back end."""
+
+import numpy as np
+import pytest
+
+from repro.core.interleave import (
+    algorithm1_subranges,
+    apply_weighted_kernel,
+    apply_weighted_placement,
+    apply_weighted_user,
+    placement_error,
+)
+from repro.memsim.pages import AddressSpace, SegmentKind
+from repro.units import PAGE_SIZE
+
+
+def make_space(num_nodes=4, pages=10_000):
+    sp = AddressSpace(num_nodes)
+    seg = sp.map_segment("s", pages * PAGE_SIZE)
+    return sp, seg
+
+
+class TestAlgorithm1Plan:
+    def test_plan_tiles_range_exactly(self):
+        plan = algorithm1_subranges(1000, [0.4, 0.3, 0.2, 0.1])
+        covered = 0
+        for start, length, _nodes in plan:
+            assert start == covered
+            covered += length
+        assert covered == 1000
+
+    def test_nested_node_sets(self):
+        # Sub-ranges drop the lightest node one at a time.
+        plan = algorithm1_subranges(1000, [0.4, 0.3, 0.2, 0.1])
+        sets = [set(nodes) for _, _, nodes in plan if _ is not None]
+        sizes = [len(s) for s in sets]
+        assert sizes == sorted(sizes, reverse=True)
+        for a, b in zip(sets, sets[1:]):
+            assert b < a  # strictly nested
+
+    def test_first_subrange_interleaves_all(self):
+        plan = algorithm1_subranges(1000, [0.4, 0.3, 0.2, 0.1])
+        assert set(plan[0][2]) == {0, 1, 2, 3}
+
+    def test_number_of_mbind_calls_is_at_most_n(self):
+        plan = algorithm1_subranges(100_000, [0.37, 0.23, 0.21, 0.19])
+        assert len(plan) <= 4 + 1  # N sub-ranges plus a possible rounding tail
+
+    def test_equal_weights_single_subrange(self):
+        plan = algorithm1_subranges(1000, [0.25, 0.25, 0.25, 0.25])
+        assert len(plan) == 1
+        assert plan[0][1] == 1000
+
+    def test_zero_weight_node_excluded(self):
+        plan = algorithm1_subranges(1000, [0.5, 0.0, 0.5])
+        for _, _, nodes in plan:
+            assert 1 not in nodes
+
+    def test_zero_pages(self):
+        assert algorithm1_subranges(0, [0.5, 0.5]) == []
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            algorithm1_subranges(10, [-0.5, 1.5])
+        with pytest.raises(ValueError):
+            algorithm1_subranges(10, [0.0, 0.0])
+        with pytest.raises(ValueError):
+            algorithm1_subranges(-1, [1.0])
+
+
+class TestUserLevelPlacement:
+    def test_per_node_ratios_match_weights(self):
+        sp, seg = make_space(pages=100_000)
+        w = np.array([0.4, 0.3, 0.2, 0.1])
+        apply_weighted_user(sp, seg, w)
+        assert sp.placement_distribution() == pytest.approx(w, abs=0.01)
+
+    def test_few_mbind_calls(self):
+        sp, seg = make_space(pages=100_000)
+        out = apply_weighted_user(sp, seg, [0.4, 0.3, 0.2, 0.1])
+        assert out.mbind_calls <= 5
+
+    def test_narrowing_reapplication_migrates(self):
+        # DWP increases shift mass toward node 0; mbind must migrate pages.
+        sp, seg = make_space(pages=10_000)
+        apply_weighted_user(sp, seg, [0.25, 0.25, 0.25, 0.25])
+        out = apply_weighted_user(sp, seg, [0.55, 0.15, 0.15, 0.15])
+        assert out.pages_moved > 0
+        assert sp.placement_distribution()[0] == pytest.approx(0.55, abs=0.02)
+
+    def test_small_segment_best_effort(self):
+        sp, seg = make_space(pages=7)
+        apply_weighted_user(sp, seg, [0.5, 0.5, 0.0, 0.0])
+        assert sp.node_histogram().sum() == 7
+
+
+class TestKernelLevelPlacement:
+    def test_exact_distribution(self):
+        sp, seg = make_space(pages=10_000)
+        w = np.array([0.4, 0.3, 0.2, 0.1])
+        apply_weighted_kernel(sp, seg, w)
+        hist = sp.node_histogram()
+        assert list(hist) == [4000, 3000, 2000, 1000]
+
+    def test_single_mbind_call(self):
+        sp, seg = make_space()
+        out = apply_weighted_kernel(sp, seg, [0.5, 0.5, 0.0, 0.0])
+        assert out.mbind_calls == 1
+
+    def test_kernel_no_less_accurate_than_user(self):
+        w = np.array([0.37, 0.29, 0.21, 0.13])
+        sp_u, seg_u = make_space(pages=50_000)
+        apply_weighted_user(sp_u, seg_u, w)
+        sp_k, seg_k = make_space(pages=50_000)
+        apply_weighted_kernel(sp_k, seg_k, w)
+        assert placement_error(sp_k, w) <= placement_error(sp_u, w) + 1e-9
+
+    def test_rejects_bad_weights(self):
+        sp, seg = make_space()
+        with pytest.raises(ValueError):
+            apply_weighted_kernel(sp, seg, [0.0, 0.0, 0.0, 0.0])
+
+
+class TestWholeSpacePlacement:
+    def test_covers_every_segment(self):
+        sp = AddressSpace(4)
+        sp.map_segment("a", 1000 * PAGE_SIZE)
+        sp.map_segment("b", 1000 * PAGE_SIZE, SegmentKind.PRIVATE, owner_thread=0)
+        w = np.array([0.4, 0.3, 0.2, 0.1])
+        apply_weighted_placement(sp, w, mode="kernel")
+        assert sp.placement_distribution() == pytest.approx(w, abs=0.01)
+
+    def test_mode_selection(self):
+        sp = AddressSpace(2)
+        sp.map_segment("a", 100 * PAGE_SIZE)
+        out_u = apply_weighted_placement(sp, [0.5, 0.5], mode="user")
+        assert out_u.pages_touched == 100
+        with pytest.raises(ValueError):
+            apply_weighted_placement(sp, [0.5, 0.5], mode="bogus")
+
+    def test_placement_error_metric(self):
+        sp = AddressSpace(2)
+        seg = sp.map_segment("a", 100 * PAGE_SIZE)
+        apply_weighted_kernel(sp, seg, [1.0, 0.0])
+        # All pages on node 0 vs a 50/50 target: TV distance = 0.5.
+        assert placement_error(sp, [0.5, 0.5]) == pytest.approx(0.5)
+
+
+class TestUserLevelAccuracyScaling:
+    @pytest.mark.parametrize("pages", [1_000, 10_000, 100_000])
+    def test_error_small_at_scale(self, pages):
+        # Algorithm 1's inaccuracy must stay small (the paper measures the
+        # end-to-end gap vs the kernel policy at <= 3%).
+        sp, seg = make_space(pages=pages)
+        w = np.array([0.35, 0.28, 0.22, 0.15])
+        apply_weighted_user(sp, seg, w)
+        assert placement_error(sp, w) < 0.02

@@ -1,0 +1,67 @@
+"""Thread placement (the AsymSched rule of thumb)."""
+
+import pytest
+
+from repro.engine.threads import (
+    pick_worker_nodes,
+    pin_threads,
+    threads_per_node,
+    worker_set_score,
+)
+
+
+class TestPickWorkerNodes:
+    def test_picks_highest_aggregate_bw_pair(self, mach_a):
+        w = pick_worker_nodes(mach_a, 2)
+        # Same-socket pairs (5.4-5.5 GB/s both ways) dominate on machine A.
+        best = worker_set_score(mach_a, w)
+        for cand in mach_a.worker_sets_of_size(2):
+            assert best >= worker_set_score(mach_a, cand) - 1e-9
+
+    def test_single_worker(self, mach_a):
+        w = pick_worker_nodes(mach_a, 1)
+        # Highest local bandwidth node wins (10.5 on nodes 4-7).
+        assert mach_a.node(w[0]).local_bandwidth == 10.5
+
+    def test_full_machine(self, mach_b):
+        assert pick_worker_nodes(mach_b, 4) == (0, 1, 2, 3)
+
+    def test_exclusion(self, mach_b):
+        w = pick_worker_nodes(mach_b, 2, exclude=[0, 1])
+        assert w == (2, 3)
+
+    def test_deterministic(self, mach_a):
+        assert pick_worker_nodes(mach_a, 3) == pick_worker_nodes(mach_a, 3)
+
+    def test_rejects_too_many(self, mach_b):
+        with pytest.raises(ValueError):
+            pick_worker_nodes(mach_b, 5)
+        with pytest.raises(ValueError):
+            pick_worker_nodes(mach_b, 3, exclude=[0, 1])
+
+
+class TestPinThreads:
+    def test_defaults_to_full_nodes(self, mach_a):
+        pins = pin_threads(mach_a, (0, 1))
+        assert len(pins) == 16
+        assert threads_per_node(pins) == {0: 8, 1: 8}
+
+    def test_even_split(self, mach_a):
+        pins = pin_threads(mach_a, (0, 1), 8)
+        assert threads_per_node(pins) == {0: 4, 1: 4}
+
+    def test_rejects_uneven_split(self, mach_a):
+        with pytest.raises(ValueError):
+            pin_threads(mach_a, (0, 1), 7)
+
+    def test_rejects_oversubscription(self, mach_a):
+        with pytest.raises(ValueError):
+            pin_threads(mach_a, (0,), 9)
+
+    def test_rejects_empty_workers(self, mach_a):
+        with pytest.raises(ValueError):
+            pin_threads(mach_a, (), 4)
+
+    def test_rejects_zero_threads(self, mach_a):
+        with pytest.raises(ValueError):
+            pin_threads(mach_a, (0,), 0)

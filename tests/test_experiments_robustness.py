@@ -1,0 +1,35 @@
+"""Robustness-study machinery."""
+
+import pytest
+
+from repro.experiments.robustness import RobustnessResult, run_robustness
+
+
+class TestRobustnessResult:
+    def test_metrics(self):
+        r = RobustnessResult(
+            rows={
+                "a": (10.0, 12.0, "uniform-all"),   # bwap wins
+                "b": (11.0, 10.0, "first-touch"),   # bwap loses 10%
+            }
+        )
+        assert r.ratios() == pytest.approx([10 / 12, 1.1])
+        assert r.worst_ratio == pytest.approx(1.1)
+        assert r.win_fraction == pytest.approx(0.5)
+        assert "worst case 1.10x" in r.render()
+
+
+class TestRunRobustness:
+    def test_reduced_sweep(self):
+        r = run_robustness(num_workloads=4, seed=3)
+        assert len(r.rows) == 4
+        for name, (b, best, winner) in r.rows.items():
+            assert b > 0 and best > 0
+            assert winner in ("first-touch", "uniform-workers", "uniform-all")
+
+    def test_reproducible(self):
+        a = run_robustness(num_workloads=3, seed=5)
+        b = run_robustness(num_workloads=3, seed=5)
+        assert a.rows.keys() == b.rows.keys()
+        for k in a.rows:
+            assert a.rows[k][0] == pytest.approx(b.rows[k][0])

@@ -1,0 +1,52 @@
+"""Sensitivity-study machinery."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.sensitivity import (
+    asymmetric_machine,
+    probe_workload,
+    run_asymmetry_sweep,
+    run_worker_sweep,
+)
+
+
+class TestAsymmetricMachine:
+    def test_amplitude_realised(self):
+        for a in (2.0, 5.0, 8.0):
+            m = asymmetric_machine(a)
+            assert m.asymmetry_amplitude() == pytest.approx(a, rel=0.01)
+
+    def test_local_dominates(self):
+        m = asymmetric_machine(4.0)
+        mat = m.nominal_bandwidth_matrix()
+        off = mat[~np.eye(4, dtype=bool)]
+        assert np.diag(mat).min() > off.max()
+
+    def test_remote_decays_with_distance(self):
+        m = asymmetric_machine(6.0, n=4)
+        mat = m.nominal_bandwidth_matrix()
+        assert mat[0, 1] > mat[0, 3]
+
+    def test_rejects_small_amplitude(self):
+        with pytest.raises(ValueError):
+            asymmetric_machine(1.5)
+
+
+class TestSweeps:
+    def test_asymmetry_sweep_reduced(self):
+        r = run_asymmetry_sweep(amplitudes=(2.0, 6.0))
+        gains = r.gains_vs_uniform_all()
+        assert set(gains) == {2.0, 6.0}
+        assert gains[6.0] > gains[2.0]
+        assert "asymmetry" in r.render()
+
+    def test_worker_sweep_reduced(self):
+        r = run_worker_sweep(worker_counts=(1, 4))
+        gains = r.gains()
+        assert gains[1] > gains[4]
+        assert "workers" in r.render()
+
+    def test_probe_is_memory_hungry(self):
+        wl = probe_workload()
+        assert wl.total_bw_node > 20.0

@@ -1,0 +1,91 @@
+"""MAPI-based memory-intensity classification (paper Section III-B3/VI)."""
+
+import pytest
+
+from repro.core.classify import (
+    ClassifierConfig,
+    MemoryIntensity,
+    WorkloadClassifier,
+    estimate_mapi,
+    measured_mapi,
+)
+from repro.engine import Application, Simulator
+from repro.memsim import UniformAll
+from repro.workloads import (
+    ft_c,
+    ocean_cp,
+    paper_benchmarks,
+    streamcluster,
+    swaptions,
+)
+
+
+class TestEstimateMapi:
+    def test_memory_intensive_has_higher_mapi(self, mach_b):
+        assert estimate_mapi(ocean_cp(), mach_b) > estimate_mapi(swaptions(), mach_b)
+
+    def test_mapi_scales_with_demand(self, mach_b):
+        assert estimate_mapi(ocean_cp(), mach_b) > estimate_mapi(ft_c(), mach_b)
+
+    def test_mapi_positive(self, mach_b):
+        for wl in paper_benchmarks():
+            assert estimate_mapi(wl, mach_b) > 0
+
+    def test_rejects_memory_only_node(self):
+        from repro.topology import hybrid_dram_nvm
+
+        m = hybrid_dram_nvm()
+        with pytest.raises(ValueError):
+            estimate_mapi(ocean_cp(), m, node=2)  # NVM node has no cores
+
+
+class TestClassifier:
+    def test_paper_benchmarks_are_memory_intensive(self, mach_b):
+        clf = WorkloadClassifier()
+        for wl in paper_benchmarks():
+            assert clf.classify(wl, mach_b) is MemoryIntensity.MEMORY_INTENSIVE, wl.name
+
+    def test_swaptions_is_cpu_intensive(self, mach_b):
+        # The co-scheduled scenario depends on this separation.
+        assert (
+            WorkloadClassifier().classify(swaptions(), mach_b)
+            is MemoryIntensity.CPU_INTENSIVE
+        )
+
+    def test_threshold_configurable(self, mach_b):
+        strict = WorkloadClassifier(ClassifierConfig(mapi_threshold=10.0))
+        assert strict.classify(ocean_cp(), mach_b) is MemoryIntensity.CPU_INTENSIVE
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            ClassifierConfig(mapi_threshold=0.0)
+
+    def test_pick_best_effort(self, mach_b):
+        a = Application("a", swaptions(), mach_b, (2, 3), policy=UniformAll())
+        b = Application("b", streamcluster(), mach_b, (0,), policy=UniformAll())
+        chosen = WorkloadClassifier().pick_best_effort(a, b)
+        assert chosen is b  # the memory-hungry one gets BWAP
+
+
+class TestMeasuredMapi:
+    def test_online_classification(self, mach_b):
+        sim = Simulator(mach_b)
+        app = sim.add_app(
+            Application("a", streamcluster(), mach_b, (0,), policy=UniformAll())
+        )
+        sim.run(max_time=5.0)
+        mapi = measured_mapi(app, sim.counters)
+        assert mapi > 0
+        clf = WorkloadClassifier()
+        assert clf.classify_running(app, sim.counters) is MemoryIntensity.MEMORY_INTENSIVE
+
+    def test_online_matches_offline_rough(self, mach_b):
+        # With demand satisfied, measured throughput ~ demanded: the two
+        # MAPI estimates agree within a factor of two.
+        wl = swaptions()
+        sim = Simulator(mach_b)
+        app = sim.add_app(Application("a", wl, mach_b, (0,), policy=UniformAll()))
+        sim.run(max_time=5.0)
+        online = measured_mapi(app, sim.counters)
+        offline = estimate_mapi(wl, mach_b)
+        assert online == pytest.approx(offline, rel=1.0)

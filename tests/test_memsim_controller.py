@@ -1,0 +1,74 @@
+"""Memory-controller contention model."""
+
+import pytest
+
+from repro.memsim.controller import DEFAULT_MC_MODEL, MCModel
+
+
+class TestEfficiencyCurve:
+    def test_single_consumer_full_peak(self):
+        assert MCModel().efficiency(1) == 1.0
+
+    def test_zero_consumers_full_peak(self):
+        assert MCModel().efficiency(0) == 1.0
+
+    def test_monotone_decreasing(self):
+        m = MCModel()
+        effs = [m.efficiency(k) for k in range(1, 10)]
+        assert all(a >= b for a, b in zip(effs, effs[1:]))
+
+    def test_bounded_below_by_floor(self):
+        m = MCModel(efficiency_floor=0.8)
+        assert m.efficiency(1000) >= 0.8
+
+    def test_approaches_floor(self):
+        m = MCModel(efficiency_floor=0.8, contention_decay=1.0)
+        assert m.efficiency(50) == pytest.approx(0.8, abs=1e-6)
+
+    def test_effective_capacity(self):
+        m = MCModel(efficiency_floor=0.5, contention_decay=100.0)
+        assert m.effective_capacity(10.0, 2) == pytest.approx(5.0, abs=1e-3)
+
+    def test_rejects_negative_consumers(self):
+        with pytest.raises(ValueError):
+            MCModel().efficiency(-1)
+
+    def test_rejects_nonpositive_peak(self):
+        with pytest.raises(ValueError):
+            MCModel().effective_capacity(0.0, 1)
+
+
+class TestWriteCost:
+    def test_reads_cost_unit(self):
+        assert MCModel(write_cost_factor=1.3).demand_cost(10.0, 0.0) == 10.0
+
+    def test_writes_cost_more(self):
+        m = MCModel(write_cost_factor=1.5)
+        assert m.demand_cost(0.0, 10.0) == 15.0
+
+    def test_mixed(self):
+        m = MCModel(write_cost_factor=1.3)
+        assert m.demand_cost(10.0, 10.0) == pytest.approx(23.0)
+
+    def test_rejects_negative_rates(self):
+        with pytest.raises(ValueError):
+            MCModel().demand_cost(-1.0, 0.0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(efficiency_floor=0.0),
+            dict(efficiency_floor=1.5),
+            dict(contention_decay=-0.1),
+            dict(write_cost_factor=0.9),
+        ],
+    )
+    def test_rejects_invalid_params(self, kwargs):
+        with pytest.raises(ValueError):
+            MCModel(**kwargs)
+
+    def test_default_model_reasonable(self):
+        assert 0.7 <= DEFAULT_MC_MODEL.efficiency_floor <= 0.9
+        assert DEFAULT_MC_MODEL.write_cost_factor > 1.0

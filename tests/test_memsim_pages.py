@@ -1,0 +1,128 @@
+"""Address spaces, segments, page tables."""
+
+import numpy as np
+import pytest
+
+from repro.memsim.pages import UNALLOCATED, AddressSpace, Segment, SegmentKind
+from repro.units import PAGE_SIZE
+
+
+class TestSegment:
+    def test_shared_segment(self):
+        s = Segment("heap", start_page=10, num_pages=5, kind=SegmentKind.SHARED)
+        assert s.end_page == 15
+        assert s.size_bytes == 5 * PAGE_SIZE
+        assert s.page_range() == (10, 15)
+
+    def test_private_requires_owner(self):
+        with pytest.raises(ValueError):
+            Segment("p", 0, 1, SegmentKind.PRIVATE)
+
+    def test_shared_rejects_owner(self):
+        with pytest.raises(ValueError):
+            Segment("s", 0, 1, SegmentKind.SHARED, owner_thread=0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Segment("s", 0, 0, SegmentKind.SHARED)
+
+
+class TestAddressSpace:
+    def test_map_segment_layout(self):
+        sp = AddressSpace(4)
+        a = sp.map_segment("a", 3 * PAGE_SIZE)
+        b = sp.map_segment("b", PAGE_SIZE + 1)  # rounds to 2 pages
+        assert a.start_page == 0 and a.num_pages == 3
+        assert b.start_page == 3 and b.num_pages == 2
+        assert sp.total_pages == 5
+
+    def test_pages_start_unallocated(self):
+        sp = AddressSpace(4)
+        seg = sp.map_segment("a", 2 * PAGE_SIZE)
+        assert (sp.page_nodes(seg) == UNALLOCATED).all()
+        assert sp.allocated_pages() == 0
+
+    def test_segment_lookup(self):
+        sp = AddressSpace(4)
+        sp.map_segment("x", PAGE_SIZE)
+        assert sp.segment("x").name == "x"
+        with pytest.raises(KeyError):
+            sp.segment("nope")
+
+    def test_segments_of_kind(self):
+        sp = AddressSpace(4)
+        sp.map_segment("s", PAGE_SIZE)
+        sp.map_segment("p", PAGE_SIZE, SegmentKind.PRIVATE, owner_thread=0)
+        assert len(sp.segments_of_kind(SegmentKind.SHARED)) == 1
+        assert len(sp.segments_of_kind(SegmentKind.PRIVATE)) == 1
+
+    def test_touch_first_touch_semantics(self):
+        sp = AddressSpace(4)
+        seg = sp.map_segment("a", 4 * PAGE_SIZE)
+        assert sp.touch(seg, 2) == 4
+        # Second touch allocates nothing and moves nothing.
+        assert sp.touch(seg, 1) == 0
+        assert (sp.page_nodes(seg) == 2).all()
+
+    def test_touch_rejects_bad_node(self):
+        sp = AddressSpace(4)
+        seg = sp.map_segment("a", PAGE_SIZE)
+        with pytest.raises(ValueError):
+            sp.touch(seg, 4)
+
+    def test_set_pages_counts_moves(self):
+        sp = AddressSpace(4)
+        seg = sp.map_segment("a", 4 * PAGE_SIZE)
+        sp.touch(seg, 0)
+        moved = sp.set_pages(0, np.array([0, 1, 1, 0], dtype=np.int16))
+        assert moved == 2
+
+    def test_set_pages_new_backing_is_not_move(self):
+        sp = AddressSpace(4)
+        sp.map_segment("a", 3 * PAGE_SIZE)
+        moved = sp.set_pages(0, np.array([1, 2, 3], dtype=np.int16))
+        assert moved == 0
+        assert sp.allocated_pages() == 3
+
+    def test_set_pages_rejects_out_of_range(self):
+        sp = AddressSpace(4)
+        sp.map_segment("a", 2 * PAGE_SIZE)
+        with pytest.raises(ValueError):
+            sp.set_pages(1, np.array([0, 0], dtype=np.int16))
+
+    def test_set_pages_rejects_invalid_node(self):
+        sp = AddressSpace(4)
+        sp.map_segment("a", PAGE_SIZE)
+        with pytest.raises(ValueError):
+            sp.set_pages(0, np.array([7], dtype=np.int16))
+
+    def test_histogram_and_distribution(self):
+        sp = AddressSpace(4)
+        seg = sp.map_segment("a", 4 * PAGE_SIZE)
+        sp.set_pages(0, np.array([0, 0, 1, 3], dtype=np.int16))
+        assert list(sp.node_histogram()) == [2, 1, 0, 1]
+        assert sp.placement_distribution() == pytest.approx([0.5, 0.25, 0, 0.25])
+
+    def test_distribution_empty_space(self):
+        sp = AddressSpace(4)
+        sp.map_segment("a", PAGE_SIZE)
+        assert (sp.placement_distribution() == 0).all()
+
+    def test_histogram_per_segment(self):
+        sp = AddressSpace(2)
+        a = sp.map_segment("a", 2 * PAGE_SIZE)
+        b = sp.map_segment("b", 2 * PAGE_SIZE)
+        sp.touch(a, 0)
+        sp.touch(b, 1)
+        assert list(sp.node_histogram([a])) == [2, 0]
+        assert list(sp.node_histogram([b])) == [0, 2]
+
+    def test_resident_bytes(self):
+        sp = AddressSpace(2)
+        seg = sp.map_segment("a", 3 * PAGE_SIZE)
+        sp.touch(seg, 1)
+        assert list(sp.resident_bytes_per_node()) == [0, 3 * PAGE_SIZE]
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            AddressSpace(0)

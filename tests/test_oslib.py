@@ -1,0 +1,108 @@
+"""Process/VMA abstraction and the simulated libnuma surface."""
+
+import numpy as np
+import pytest
+
+from repro.memsim.pages import AddressSpace, SegmentKind
+from repro.oslib import LibNuma, Process, VMA
+from repro.units import PAGE_SIZE
+
+
+@pytest.fixture
+def proc():
+    sp = AddressSpace(4)
+    sp.map_segment("data", 100 * PAGE_SIZE)
+    sp.map_segment("tls-0", 10 * PAGE_SIZE, SegmentKind.PRIVATE, owner_thread=0)
+    return Process(pid=1234, space=sp)
+
+
+class TestProcess:
+    def test_vmas_match_segments(self, proc):
+        vmas = proc.vmas()
+        assert [v.name for v in vmas] == ["data", "tls-0"]
+        assert vmas[0].num_pages == 100
+        assert vmas[1].start == 100 * PAGE_SIZE
+
+    def test_vma_validation(self):
+        with pytest.raises(ValueError):
+            VMA(start=10, end=10, name="x", kind=SegmentKind.SHARED)
+
+    def test_segment_for_vma_roundtrip(self, proc):
+        for vma in proc.vmas():
+            seg = proc.segment_for_vma(vma)
+            assert seg.name == vma.name
+
+    def test_segment_for_unknown_vma(self, proc):
+        bogus = VMA(start=999 * PAGE_SIZE, end=1000 * PAGE_SIZE,
+                    name="x", kind=SegmentKind.SHARED)
+        with pytest.raises(KeyError):
+            proc.segment_for_vma(bogus)
+
+    def test_numa_maps_reports_distribution(self, proc):
+        proc.space.touch(proc.space.segment("data"), 2)
+        maps = dict(proc.numa_maps())
+        assert maps["data"] == {"N2": 100}
+        assert maps["tls-0"] == {}
+
+    def test_rejects_bad_pid(self):
+        with pytest.raises(ValueError):
+            Process(pid=0, space=AddressSpace(2))
+
+
+class TestLibNumaClassicSurface:
+    def test_availability(self, mach_b):
+        lib = LibNuma(mach_b)
+        assert lib.numa_available()
+        assert lib.numa_num_configured_nodes() == 4
+        assert lib.numa_num_configured_cpus() == 28
+
+    def test_single_node_machine_not_numa(self):
+        from repro.topology import fully_connected
+
+        lib = LibNuma(fully_connected(1))
+        assert not lib.numa_available()
+
+    def test_node_size(self, mach_b):
+        lib = LibNuma(mach_b)
+        assert lib.numa_node_size(0) == mach_b.node(0).memory_bytes
+
+    def test_alloc_onnode(self, mach_b, proc):
+        lib = LibNuma(mach_b)
+        seg = lib.numa_alloc_onnode(proc, "buf", 10 * PAGE_SIZE, node=3)
+        assert (proc.space.page_nodes(seg) == 3).all()
+
+    def test_alloc_interleaved(self, mach_b, proc):
+        lib = LibNuma(mach_b)
+        seg = lib.numa_alloc_interleaved(proc, "buf", 100 * PAGE_SIZE)
+        hist = np.bincount(proc.space.page_nodes(seg), minlength=4)
+        assert hist.max() - hist.min() <= 1
+
+    def test_interleave_memory_rebinds(self, mach_b, proc):
+        lib = LibNuma(mach_b)
+        seg = lib.numa_alloc_onnode(proc, "buf", 20 * PAGE_SIZE, node=0)
+        lib.numa_interleave_memory(proc, seg, [1, 2])
+        assert set(proc.space.page_nodes(seg)) == {1, 2}
+
+
+class TestBwInterleavedExtension:
+    def test_weights_follow_canonical(self, mach_b, canonical_b):
+        lib = LibNuma(mach_b, canonical_b)
+        w = lib.numa_bw_interleave_weights((0,), dwp=0.0)
+        assert w == pytest.approx(canonical_b.weights((0,)))
+
+    def test_dwp_shifts_mass_to_workers(self, mach_b, canonical_b):
+        lib = LibNuma(mach_b, canonical_b)
+        w0 = lib.numa_bw_interleave_weights((0,), dwp=0.0)
+        w9 = lib.numa_bw_interleave_weights((0,), dwp=0.9)
+        assert w9[0] > w0[0]
+
+    def test_bw_interleave_places_pages(self, mach_b, canonical_b, proc):
+        lib = LibNuma(mach_b, canonical_b)
+        out = lib.numa_bw_interleave(proc, (0,), dwp=0.0)
+        assert out.pages_touched == 110
+        dist = proc.space.placement_distribution()
+        assert dist == pytest.approx(canonical_b.weights((0,)), abs=0.05)
+
+    def test_lazy_canonical_tuner(self, mach_b):
+        lib = LibNuma(mach_b)
+        assert lib.canonical_tuner() is lib.canonical_tuner()

@@ -1,0 +1,222 @@
+"""Performance model: latency, stalls, counters, profiler."""
+
+import numpy as np
+import pytest
+
+from repro.memsim.contention import solve
+from repro.memsim.controller import MCModel
+from repro.memsim.flows import Consumer
+from repro.perf.counters import CounterBank, MeasurementConfig
+from repro.perf.latency import LatencyModel
+from repro.perf.profiler import AccessProfiler, TrafficSample
+from repro.perf.stalls import (
+    WorkerLoad,
+    slowdown,
+    stall_fraction,
+    stall_rate_cycles_per_s,
+)
+
+IDEAL_MC = MCModel(efficiency_floor=0.9999, contention_decay=0.0, write_cost_factor=1.0)
+
+
+class TestLatencyModel:
+    def test_queueing_delay_convex(self):
+        lm = LatencyModel(queue_scale_ns=20.0)
+        d = [lm.queueing_delay_ns(u) for u in (0.0, 0.5, 0.9)]
+        assert d[0] == 0.0
+        assert d[2] - d[1] > d[1] - d[0]  # convex growth
+
+    def test_queueing_delay_capped_at_saturation(self):
+        lm = LatencyModel()
+        assert np.isfinite(lm.queueing_delay_ns(1.0))
+        assert lm.queueing_delay_ns(1.0) == lm.queueing_delay_ns(5.0)
+
+    def test_rejects_negative_utilization(self):
+        with pytest.raises(ValueError):
+            LatencyModel().queueing_delay_ns(-0.1)
+
+    def test_local_mix_cheaper_than_remote(self, mach_a):
+        lm = LatencyModel()
+        local = Consumer("a", 0, 8, np.eye(8)[0], 1.0)
+        remote_mix = np.eye(8)[5]
+        remote = Consumer("a", 0, 8, remote_mix, 1.0)
+        alloc = solve(mach_a, [local], IDEAL_MC)
+        l_local = lm.consumer_latency_ns(mach_a, local, alloc)
+        alloc_r = solve(mach_a, [remote], IDEAL_MC)
+        l_remote = lm.consumer_latency_ns(mach_a, remote, alloc_r)
+        assert l_remote > l_local
+
+    def test_idle_consumer_sees_local_baseline(self, mach_a):
+        lm = LatencyModel()
+        idle = Consumer("a", 3, 8, np.zeros(8), 0.0)
+        alloc = solve(mach_a, [idle], IDEAL_MC)
+        assert lm.consumer_latency_ns(mach_a, idle, alloc) == pytest.approx(
+            lm.local_baseline_ns(mach_a, 3)
+        )
+
+    def test_loaded_resource_raises_latency(self, small_symmetric):
+        lm = LatencyModel()
+        mix = np.eye(2)[0]
+        light = Consumer("a", 0, 4, mix, demand=1.0)
+        heavy = Consumer("a", 0, 4, mix, demand=float("inf"))
+        a_light = solve(small_symmetric, [light], IDEAL_MC)
+        a_heavy = solve(small_symmetric, [heavy], IDEAL_MC)
+        assert lm.consumer_latency_ns(small_symmetric, heavy, a_heavy) > (
+            lm.consumer_latency_ns(small_symmetric, light, a_light)
+        )
+
+
+class TestStallModel:
+    def _load(self, **kw):
+        base = dict(
+            demand_gbps=10.0,
+            achieved_gbps=10.0,
+            avg_latency_ns=100.0,
+            base_latency_ns=100.0,
+            latency_weight=0.0,
+        )
+        base.update(kw)
+        return WorkerLoad(**base)
+
+    def test_satisfied_bw_insensitive_no_stall(self):
+        assert slowdown(self._load()) == pytest.approx(1.0)
+        assert stall_fraction(self._load()) == 0.0
+
+    def test_bw_starvation_scales_linearly(self):
+        l = self._load(achieved_gbps=5.0)
+        assert slowdown(l) == pytest.approx(2.0)
+        assert stall_fraction(l) == pytest.approx(0.5)
+
+    def test_latency_exposure(self):
+        l = self._load(avg_latency_ns=200.0, latency_weight=1.0)
+        assert slowdown(l) == pytest.approx(2.0)
+
+    def test_blend(self):
+        l = self._load(achieved_gbps=5.0, avg_latency_ns=300.0, latency_weight=0.5)
+        assert slowdown(l) == pytest.approx(0.5 * 2.0 + 0.5 * 3.0)
+
+    def test_zero_demand_never_stalls(self):
+        l = self._load(demand_gbps=0.0, avg_latency_ns=500.0, latency_weight=1.0)
+        assert slowdown(l) == 1.0
+
+    def test_overachievement_not_a_speedup(self):
+        l = self._load(achieved_gbps=50.0)
+        assert slowdown(l) == pytest.approx(1.0)
+
+    def test_stall_rate_units(self):
+        l = self._load(achieved_gbps=5.0)
+        # 50% stalled at 2 GHz = 1e9 stalled cycles per second.
+        assert stall_rate_cycles_per_s(l, 2.0) == pytest.approx(1e9)
+
+    def test_stall_monotone_in_slowdown(self):
+        s1 = stall_fraction(self._load(achieved_gbps=8.0))
+        s2 = stall_fraction(self._load(achieved_gbps=4.0))
+        assert s2 > s1
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            self._load(latency_weight=1.5)
+        with pytest.raises(ValueError):
+            self._load(avg_latency_ns=0.0)
+        with pytest.raises(ValueError):
+            stall_rate_cycles_per_s(self._load(), 0.0)
+
+
+class TestCounterBank:
+    def test_true_values_stored(self):
+        cb = CounterBank()
+        cb.update("a", stall_rate=1e8, throughput_gbps=12.0)
+        assert cb.true_stall_rate("a") == 1e8
+        assert cb.true_throughput("a") == 12.0
+
+    def test_reads_are_noisy(self):
+        cb = CounterBank(noise_std=0.05, seed=1)
+        cb.update("a", stall_rate=1e8, throughput_gbps=1.0)
+        reads = {cb.read_stall_rate("a") for _ in range(10)}
+        assert len(reads) > 1
+
+    def test_noiseless_bank_exact(self):
+        cb = CounterBank(noise_std=0.0, outlier_prob=0.0)
+        cb.update("a", stall_rate=5.0, throughput_gbps=1.0)
+        assert cb.read_stall_rate("a") == 5.0
+
+    def test_trimmed_mean_rejects_outliers(self):
+        # With heavy outliers, the trimmed sample must stay close to truth.
+        cb = CounterBank(noise_std=0.01, outlier_prob=0.2, outlier_scale=3.0, seed=7)
+        cb.update("a", stall_rate=1e8, throughput_gbps=1.0)
+        est = cb.sample_stall_rate("a", MeasurementConfig(n=20, c=5, t=0.1))
+        assert est == pytest.approx(1e8, rel=0.05)
+
+    def test_unknown_app_raises(self):
+        with pytest.raises(KeyError):
+            CounterBank().read_stall_rate("nope")
+
+    def test_reproducible_with_seed(self):
+        def reads(seed):
+            cb = CounterBank(seed=seed)
+            cb.update("a", stall_rate=1e8, throughput_gbps=1.0)
+            return [cb.read_stall_rate("a") for _ in range(5)]
+
+        assert reads(3) == reads(3)
+        assert reads(3) != reads(4)
+
+    def test_update_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CounterBank().update("a", stall_rate=-1.0, throughput_gbps=0.0)
+
+
+class TestMeasurementConfig:
+    def test_paper_defaults(self):
+        c = MeasurementConfig()
+        assert (c.n, c.c, c.t) == (20, 5, 0.2)
+        assert c.wall_time_s == pytest.approx(4.0)
+
+    def test_rejects_overtrimming(self):
+        with pytest.raises(ValueError):
+            MeasurementConfig(n=10, c=5)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            MeasurementConfig(t=0.0)
+
+
+class TestAccessProfiler:
+    def test_characterise_single_sample(self):
+        p = AccessProfiler("X")
+        p.record(TrafficSample(1.0, read_gbps=10.0, write_gbps=5.0, private_fraction=0.8))
+        c = p.characterise()
+        assert c.reads_mbps == pytest.approx(10_000)
+        assert c.writes_mbps == pytest.approx(5_000)
+        assert c.private_pct == pytest.approx(80.0)
+        assert c.shared_pct == pytest.approx(20.0)
+
+    def test_time_weighted_aggregation(self):
+        p = AccessProfiler("X")
+        p.extend(
+            [
+                TrafficSample(1.0, 10.0, 0.0, 1.0),
+                TrafficSample(3.0, 2.0, 0.0, 0.0),
+            ]
+        )
+        c = p.characterise()
+        assert c.reads_mbps == pytest.approx((10 + 6) / 4 * 1000)
+        # Private fraction is traffic-weighted: 10 private vs 6 shared GB.
+        assert c.private_pct == pytest.approx(100 * 10 / 16)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            AccessProfiler("X").characterise()
+
+    def test_as_row(self):
+        c = AccessProfiler("X")
+        c.record(TrafficSample(1.0, 1.0, 0.0, 0.0))
+        row = c.characterise().as_row()
+        assert row[0] == "X" and len(row) == 5
+
+    def test_sample_validation(self):
+        with pytest.raises(ValueError):
+            TrafficSample(0.0, 1.0, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            TrafficSample(1.0, -1.0, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            TrafficSample(1.0, 1.0, 0.0, 1.5)

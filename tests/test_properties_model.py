@@ -1,0 +1,124 @@
+"""Property-based tests on the performance model and BWAP's optimality."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.canonical import CanonicalTuner
+from repro.core.search import analytic_execution_time
+from repro.engine import Application, Simulator
+from repro.memsim import UniformAll
+from repro.memsim.contention import solve
+from repro.memsim.controller import MCModel
+from repro.memsim.flows import Consumer
+from repro.topology import from_bandwidth_matrix
+from repro.units import MiB
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.generator import random_workload
+
+IDEAL_MC = MCModel(efficiency_floor=0.9999, contention_decay=0.0, write_cost_factor=1.0)
+
+
+def random_machine(rng: np.random.Generator, n: int):
+    """A random but valid matrix-calibrated machine."""
+    local = rng.uniform(8.0, 30.0, size=n)
+    m = np.empty((n, n))
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                m[i, j] = local[i]
+            else:
+                m[i, j] = rng.uniform(1.0, local[i] * 0.9)
+    return from_bandwidth_matrix(m, cores_per_node=4)
+
+
+def throughput(machine, weights, worker=0) -> float:
+    """Steady-state rate of the canonical app under a weight vector."""
+    w = np.asarray(weights, dtype=float)
+    w = w / w.sum()
+    c = Consumer("c", worker, 4, w, float("inf"))
+    return solve(machine, [c], IDEAL_MC).rate("c", worker)
+
+
+class TestCanonicalOptimality:
+    @given(
+        seed=st.integers(min_value=0, max_value=300),
+        n=st.integers(min_value=2, max_value=6),
+    )
+    @settings(deadline=None, max_examples=25)
+    def test_canonical_beats_random_weights_for_canonical_app(self, seed, n):
+        # Eq. 2's promise: the canonical distribution maximises the
+        # canonical application's throughput. The profiled weights must
+        # beat (nearly) any random distribution on any machine.
+        rng = np.random.default_rng(seed)
+        machine = random_machine(rng, n)
+        tuner = CanonicalTuner(machine)
+        canonical = tuner.weights([0])
+        t_canonical = throughput(machine, canonical)
+        for _ in range(10):
+            random_w = rng.random(n) + 1e-3
+            assert t_canonical >= throughput(machine, random_w) * 0.999
+
+    @given(seed=st.integers(min_value=0, max_value=300))
+    @settings(deadline=None, max_examples=20)
+    def test_canonical_beats_uniform_and_local(self, seed):
+        rng = np.random.default_rng(seed)
+        machine = random_machine(rng, 4)
+        tuner = CanonicalTuner(machine)
+        canonical = tuner.weights([0])
+        t_c = throughput(machine, canonical)
+        assert t_c >= throughput(machine, np.full(4, 0.25)) - 1e-9
+        assert t_c >= throughput(machine, np.eye(4)[0]) - 1e-9
+
+
+class TestExecutionInvariants:
+    @given(seed=st.integers(min_value=0, max_value=200))
+    @settings(deadline=None, max_examples=15)
+    def test_execution_time_bounded_below_by_demand_floor(self, seed):
+        # No placement can finish faster than full-speed demand allows.
+        rng = np.random.default_rng(seed)
+        wl = random_workload(rng, name="p")
+        wl = WorkloadSpec(
+            **{
+                **wl.__dict__,
+                "work_bytes": 50e9,
+                "shared_bytes": 16 * MiB,
+                "private_bytes_per_thread": 2 * MiB,
+            }
+        )
+        machine = random_machine(rng, 4)
+        sim = Simulator(machine)
+        sim.add_app(Application("a", wl, machine, (0,), policy=UniformAll()))
+        t = sim.run().execution_time("a")
+        threads = machine.node(0).num_cores
+        floor = wl.ideal_time_s(threads, 1)
+        assert t >= floor * 0.999
+
+    @given(seed=st.integers(min_value=0, max_value=200))
+    @settings(deadline=None, max_examples=10)
+    def test_analytic_matches_simulation_on_random_cases(self, seed):
+        rng = np.random.default_rng(seed)
+        wl = random_workload(rng, name="p")
+        wl = WorkloadSpec(
+            **{
+                **wl.__dict__,
+                "work_bytes": 50e9,
+                "shared_bytes": 16 * MiB,
+                "private_bytes_per_thread": 0,
+                "private_fraction": 0.0,
+            }
+        )
+        machine = random_machine(rng, 4)
+        weights = rng.random(4) + 1e-3
+        weights /= weights.sum()
+        fast = analytic_execution_time(machine, wl, (0, 1), weights)
+
+        from repro.memsim import WeightedInterleave
+
+        sim = Simulator(machine)
+        sim.add_app(
+            Application("a", wl, machine, (0, 1), policy=WeightedInterleave(weights))
+        )
+        slow = sim.run().execution_time("a")
+        assert fast == pytest.approx(slow, rel=0.02)

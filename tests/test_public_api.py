@@ -1,0 +1,71 @@
+"""Public API surface: exports resolve, __all__ is accurate, docs exist."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.topology",
+    "repro.memsim",
+    "repro.perf",
+    "repro.workloads",
+    "repro.engine",
+    "repro.core",
+    "repro.oslib",
+    "repro.experiments",
+]
+
+
+class TestExports:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_names_resolve(self, package):
+        mod = importlib.import_module(package)
+        assert hasattr(mod, "__all__"), package
+        for name in mod.__all__:
+            assert hasattr(mod, name), f"{package}.{name} in __all__ but missing"
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_module_docstring(self, package):
+        mod = importlib.import_module(package)
+        assert mod.__doc__ and mod.__doc__.strip(), package
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_quickstart_snippet_from_docstring(self):
+        # The package docstring's quickstart must actually run.
+        from repro import (
+            Application,
+            CanonicalTuner,
+            Simulator,
+            bwap_init,
+            machine_a,
+            pick_worker_nodes,
+            streamcluster,
+        )
+        import dataclasses
+
+        machine = machine_a()
+        workers = pick_worker_nodes(machine, 2)
+        sim = Simulator(machine)
+        wl = dataclasses.replace(streamcluster(), work_bytes=100e9)
+        app = sim.add_app(Application("app", wl, machine, workers))
+        tuner = bwap_init(sim, app, canonical_tuner=CanonicalTuner(machine))
+        result = sim.run()
+        assert result.execution_time("app") > 0
+        assert 0.0 <= tuner.final_dwp <= 1.0
+
+
+class TestPublicDocstrings:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_every_public_callable_documented(self, package):
+        mod = importlib.import_module(package)
+        undocumented = []
+        for name in mod.__all__:
+            obj = getattr(mod, name)
+            if callable(obj) and not (obj.__doc__ or "").strip():
+                undocumented.append(name)
+        assert not undocumented, f"{package}: missing docstrings on {undocumented}"

@@ -1,0 +1,67 @@
+"""Machine characterisation reports (MCTOP-style, paper §V integration)."""
+
+import pytest
+
+from repro.topology import (
+    describe,
+    fully_connected,
+    hybrid_dram_nvm,
+    rank_worker_sets,
+    ring,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_machine_a_headlines(self, mach_a):
+        s = summarize(mach_a)
+        assert s.num_nodes == 8 and s.num_cores == 64
+        assert s.asymmetry_amplitude == pytest.approx(5.8, abs=0.1)
+        assert s.direction_asymmetric
+        assert s.local_bw_range == (9.2, 10.5)
+        assert s.remote_bw_range == (1.8, 5.5)
+        assert s.memory_only_nodes == ()
+
+    def test_machine_b_headlines(self, mach_b):
+        s = summarize(mach_b)
+        assert s.asymmetry_amplitude == pytest.approx(2.3, abs=0.1)
+        assert not s.direction_asymmetric
+
+    def test_hybrid_flags_memory_only_nodes(self):
+        s = summarize(hybrid_dram_nvm())
+        assert s.memory_only_nodes == (2, 3)
+
+    def test_ring_hop_count(self):
+        s = summarize(ring(6))
+        assert s.max_hops == 3
+
+    def test_single_node(self):
+        s = summarize(fully_connected(1))
+        assert s.num_nodes == 1 and s.max_hops == 0
+
+
+class TestRankWorkerSets:
+    def test_machine_a_pairs(self, mach_a):
+        best = rank_worker_sets(mach_a, 2, top=2)
+        # Same-socket pairs dominate (5.4-5.5 GB/s each way).
+        assert best[0][0] in ((0, 1), (2, 3))
+        assert best[0][1] >= best[1][1]
+
+    def test_excludes_memory_only_nodes(self):
+        ranked = rank_worker_sets(hybrid_dram_nvm(), 1, top=10)
+        nodes = {ws[0] for ws, _ in ranked}
+        assert nodes == {0, 1}
+
+    def test_top_limits_output(self, mach_a):
+        assert len(rank_worker_sets(mach_a, 2, top=3)) == 3
+
+
+class TestDescribe:
+    def test_contains_headlines(self, mach_a):
+        text = describe(mach_a)
+        assert "machine-A" in text
+        assert "5.8x" in text
+        assert "worker sets" in text
+
+    def test_hybrid_mentions_nvm(self):
+        assert "memory-only nodes" in describe(hybrid_dram_nvm())

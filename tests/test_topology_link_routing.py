@@ -1,0 +1,129 @@
+"""Links and static routing."""
+
+import pytest
+
+from repro.topology.link import Link
+from repro.topology.routing import Route, RoutingTable
+
+
+class TestLink:
+    def test_fields(self):
+        l = Link(src=0, dst=1, capacity=5.5, latency_ns=40.0)
+        assert l.endpoints == (0, 1)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            Link(src=2, dst=2, capacity=1.0)
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            Link(src=0, dst=1, capacity=0.0)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            Link(src=0, dst=1, capacity=1.0, latency_ns=-1.0)
+
+    def test_reversed_defaults(self):
+        l = Link(src=0, dst=1, capacity=5.5, latency_ns=40.0)
+        r = l.reversed()
+        assert r.src == 1 and r.dst == 0 and r.capacity == 5.5
+
+    def test_reversed_asymmetric_capacity(self):
+        # Fig. 1a shows direction-dependent bandwidth on the same link.
+        l = Link(src=0, dst=1, capacity=4.0)
+        r = l.reversed(capacity=2.8)
+        assert r.capacity == 2.8
+
+
+class TestRoute:
+    def test_local_route(self):
+        r = Route(nodes=(3,), links=())
+        assert r.is_local and r.hops == 0
+        assert r.bottleneck == float("inf")
+        assert r.latency_ns == 0.0
+
+    def test_multi_hop_properties(self):
+        l01 = Link(src=0, dst=1, capacity=4.0, latency_ns=40.0)
+        l12 = Link(src=1, dst=2, capacity=2.5, latency_ns=50.0)
+        r = Route(nodes=(0, 1, 2), links=(l01, l12))
+        assert r.hops == 2
+        assert r.bottleneck == 2.5
+        assert r.latency_ns == 90.0
+        assert r.src == 0 and r.dst == 2
+
+    def test_rejects_mismatched_links(self):
+        l = Link(src=0, dst=1, capacity=1.0)
+        with pytest.raises(ValueError):
+            Route(nodes=(0, 2), links=(l,))
+
+    def test_rejects_wrong_link_count(self):
+        with pytest.raises(ValueError):
+            Route(nodes=(0, 1), links=())
+
+
+def _chain_links(caps):
+    """0 -> 1 -> 2 ... bidirectional chain with given capacities."""
+    links = []
+    for i, c in enumerate(caps):
+        links.append(Link(src=i, dst=i + 1, capacity=c))
+        links.append(Link(src=i + 1, dst=i, capacity=c))
+    return links
+
+
+class TestRoutingTable:
+    def test_direct_link_used(self):
+        links = _chain_links([5.0, 3.0])
+        rt = RoutingTable([0, 1, 2], links)
+        assert rt.route(0, 1).hops == 1
+
+    def test_multi_hop_found(self):
+        links = _chain_links([5.0, 3.0])
+        rt = RoutingTable([0, 1, 2], links)
+        r = rt.route(0, 2)
+        assert r.nodes == (0, 1, 2)
+        assert r.bottleneck == 3.0
+
+    def test_local_routes_exist(self):
+        rt = RoutingTable([0, 1], _chain_links([1.0]))
+        assert rt.route(0, 0).is_local
+
+    def test_widest_among_shortest(self):
+        # Two 2-hop paths 0->3: via 1 (bottleneck 2) or via 2 (bottleneck 4).
+        links = [
+            Link(0, 1, 2.0), Link(1, 3, 10.0),
+            Link(0, 2, 4.0), Link(2, 3, 10.0),
+            # reverse directions so the graph is fully connected
+            Link(1, 0, 2.0), Link(3, 1, 10.0),
+            Link(2, 0, 4.0), Link(3, 2, 10.0),
+        ]
+        rt = RoutingTable([0, 1, 2, 3], links)
+        r = rt.route(0, 3)
+        assert r.hops == 2
+        assert r.nodes[1] == 2  # the wider path
+        assert r.bottleneck == 4.0
+
+    def test_shortest_wins_over_wider(self):
+        # Direct 0->2 of capacity 1 beats a wide 2-hop path: hops dominate.
+        links = _chain_links([5.0, 5.0]) + [Link(0, 2, 1.0), Link(2, 0, 1.0)]
+        rt = RoutingTable([0, 1, 2], links)
+        assert rt.route(0, 2).hops == 1
+
+    def test_fully_connected_check(self):
+        rt = RoutingTable([0, 1, 2], _chain_links([1.0, 1.0]))
+        assert rt.is_fully_connected()
+
+    def test_missing_route_detected(self):
+        rt = RoutingTable([0, 1, 2], [Link(0, 1, 1.0), Link(1, 0, 1.0)])
+        assert not rt.is_fully_connected()
+        with pytest.raises(KeyError):
+            rt.route(0, 2)
+
+    def test_rejects_unknown_node_in_link(self):
+        with pytest.raises(ValueError):
+            RoutingTable([0, 1], [Link(0, 7, 1.0)])
+
+    def test_routes_are_deterministic(self):
+        links = _chain_links([2.0, 2.0, 2.0])
+        a = RoutingTable([0, 1, 2, 3], links).all_routes()
+        b = RoutingTable([0, 1, 2, 3], links).all_routes()
+        assert {k: v.nodes for k, v in a.items()} == {k: v.nodes for k, v in b.items()}

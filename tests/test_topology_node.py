@@ -1,0 +1,74 @@
+"""NUMA node / core / memory-controller model."""
+
+import pytest
+
+from repro.topology.node import Core, MemoryController, NUMANode, make_node
+from repro.units import GiB
+
+
+class TestCore:
+    def test_fields(self):
+        c = Core(core_id=3, node_id=1, frequency_ghz=2.4)
+        assert c.core_id == 3 and c.node_id == 1 and c.frequency_ghz == 2.4
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            Core(core_id=0, node_id=0, frequency_ghz=0.0)
+
+
+class TestMemoryController:
+    def test_valid(self):
+        mc = MemoryController(node_id=0, peak_bandwidth=9.2)
+        assert mc.peak_bandwidth == 9.2
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(peak_bandwidth=0.0),
+            dict(peak_bandwidth=-1.0),
+            dict(peak_bandwidth=9.2, capacity_bytes=0),
+            dict(peak_bandwidth=9.2, base_latency_ns=0),
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            MemoryController(node_id=0, **kwargs)
+
+
+class TestNUMANode:
+    def test_make_node(self):
+        n = make_node(2, num_cores=8, local_bandwidth=10.5, first_core_id=16)
+        assert n.num_cores == 8
+        assert n.local_bandwidth == 10.5
+        assert [c.core_id for c in n.cores] == list(range(16, 24))
+        assert all(c.node_id == 2 for c in n.cores)
+
+    def test_memory_bytes(self):
+        n = make_node(0, num_cores=1, local_bandwidth=5.0, memory_bytes=4 * GiB)
+        assert n.memory_bytes == 4 * GiB
+
+    def test_zero_cores_makes_memory_only_node(self):
+        n = make_node(0, num_cores=0, local_bandwidth=5.0)
+        assert n.num_cores == 0
+
+    def test_rejects_negative_cores(self):
+        with pytest.raises(ValueError):
+            make_node(0, num_cores=-1, local_bandwidth=5.0)
+
+    def test_rejects_controller_mismatch(self):
+        mc = MemoryController(node_id=1, peak_bandwidth=9.2)
+        with pytest.raises(ValueError):
+            NUMANode(node_id=0, cores=[], controller=mc)
+
+    def test_rejects_foreign_core(self):
+        mc = MemoryController(node_id=0, peak_bandwidth=9.2)
+        with pytest.raises(ValueError):
+            NUMANode(node_id=0, cores=[Core(core_id=0, node_id=5)], controller=mc)
+
+    def test_requires_controller(self):
+        with pytest.raises(ValueError):
+            NUMANode(node_id=0, cores=[])
+
+    def test_socket_id(self):
+        n = make_node(0, num_cores=1, local_bandwidth=5.0, socket_id=3)
+        assert n.socket_id == 3

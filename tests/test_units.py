@@ -1,0 +1,56 @@
+"""Units and conversions."""
+
+import pytest
+
+from repro.units import (
+    GB,
+    GiB,
+    KiB,
+    MB,
+    MiB,
+    PAGE_SIZE,
+    bytes_per_s_to_gbps,
+    bytes_to_pages,
+    gbps_to_bytes_per_s,
+    mbps_to_gbps,
+)
+
+
+class TestConstants:
+    def test_binary_sizes_chain(self):
+        assert MiB == 1024 * KiB
+        assert GiB == 1024 * MiB
+
+    def test_page_size_is_4k(self):
+        assert PAGE_SIZE == 4096
+
+    def test_decimal_sizes(self):
+        assert GB == 1000 * MB
+
+
+class TestConversions:
+    def test_gbps_roundtrip(self):
+        assert bytes_per_s_to_gbps(gbps_to_bytes_per_s(12.5)) == pytest.approx(12.5)
+
+    def test_mbps_to_gbps_matches_table1_units(self):
+        # Table I reports 17576 MB/s for OC reads = 17.576 GB/s.
+        assert mbps_to_gbps(17576) == pytest.approx(17.576)
+
+    def test_bytes_to_pages_exact(self):
+        assert bytes_to_pages(8192) == 2
+
+    def test_bytes_to_pages_rounds_up(self):
+        assert bytes_to_pages(8193) == 3
+
+    def test_bytes_to_pages_zero(self):
+        assert bytes_to_pages(0) == 0
+
+    def test_bytes_to_pages_single_byte(self):
+        assert bytes_to_pages(1) == 1
+
+    def test_bytes_to_pages_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bytes_to_pages(-1)
+
+    def test_custom_page_size(self):
+        assert bytes_to_pages(2 * MiB, page_size=2 * MiB) == 1
