@@ -81,10 +81,14 @@ def algorithm1_subranges(
             address += size
         weight_prev = w[node]
         active = active[1:]
-    if address < num_pages:
-        # Rounding left a tail: interleave it over all positive-weight nodes.
-        all_nodes = tuple(sorted(i for i in range(len(w)) if w[i] > _WEIGHT_EPS))
-        plan.append((address, num_pages - address, all_nodes))
+    if address < num_pages and plan:
+        # Rounding left a tail (ties in weights can make trailing sub-ranges
+        # zero-size): fold it into the last active sub-range rather than
+        # issuing an extra mbind — the plan must stay within the paper's
+        # N-call bound (`len(plan) <= number of active nodes`) and must not
+        # hand the tail pages out a second time over the full node set.
+        start, length, nodes = plan[-1]
+        plan[-1] = (start, length + (num_pages - address), nodes)
     return plan
 
 
@@ -175,6 +179,8 @@ def placement_error(space: AddressSpace, weights: Sequence[float]) -> float:
     """Total-variation distance between target weights and the achieved
     placement — the accuracy metric for the user-vs-kernel ablation."""
     w = np.asarray(weights, dtype=float)
+    if (w < 0).any() or w.sum() <= 0:
+        raise ValueError("weights must be non-negative with positive sum")
     w = w / w.sum()
     actual = space.placement_distribution()
     return float(0.5 * np.abs(actual - w).sum())

@@ -95,11 +95,14 @@ class Application:
         counts = threads_per_node(self.thread_nodes)
         self._threads_on: Dict[int, int] = counts
         total = workload.work_bytes
+        # Memory-only worker nodes host pages but run no threads, so their
+        # share of the work is zero.
         self._share: Dict[int, float] = {
-            w: total * counts[w] / self.num_threads for w in self.worker_nodes
+            w: total * counts.get(w, 0) / self.num_threads for w in self.worker_nodes
         }
         self._remaining: Dict[int, float] = dict(self._share)
         self.finished = False
+        self._consumers_memo: Optional[Tuple[tuple, List[Consumer]]] = None
         self.finish_time: Optional[float] = None
         self.start_time: float = 0.0
         self.completions: int = 0
@@ -179,7 +182,23 @@ class Application:
         )
 
     def consumers(self) -> List[Consumer]:
-        """Current consumer set for the contention solver."""
+        """Current consumer set for the contention solver.
+
+        Memoised between placement changes: the mixes depend only on the
+        address-space placement (tracked by ``space.version``) and the
+        demands/workload parameters captured in the key, so epochs where
+        nothing moved reuse the previous (immutable) consumer objects.
+        """
+        wl = self.workload
+        key = (
+            self.space.version,
+            tuple(self.node_demand(w) for w in self.worker_nodes),
+            wl.private_fraction,
+            wl.write_fraction,
+            bool(getattr(self.policy, "replicates_shared", False)),
+        )
+        if self._consumers_memo is not None and self._consumers_memo[0] == key:
+            return self._consumers_memo[1]
         out: List[Consumer] = []
         for w in self.worker_nodes:
             demand = self.node_demand(w)
@@ -191,9 +210,10 @@ class Application:
                     threads=self.threads_on(w),
                     mix=mix if demand > 0 else np.zeros(self.machine.num_nodes),
                     demand=demand,
-                    write_fraction=self.workload.write_fraction,
+                    write_fraction=wl.write_fraction,
                 )
             )
+        self._consumers_memo = (key, out)
         return out
 
     def remaining(self, node: int) -> float:

@@ -68,7 +68,12 @@ def pin_threads(
     workers = list(worker_nodes)
     if not workers:
         raise ValueError("worker_nodes must not be empty")
-    capacity = sum(machine.node(w).num_cores for w in workers)
+    # Memory-only nodes (CXL/NVM expanders) may appear in the worker set to
+    # host pages; threads are spread over the nodes that do have cores.
+    compute = [w for w in workers if machine.node(w).num_cores > 0]
+    if not compute:
+        raise ValueError(f"no worker node in {workers} has cores to pin threads on")
+    capacity = sum(machine.node(w).num_cores for w in compute)
     if num_threads is None:
         num_threads = capacity
     if num_threads < 1:
@@ -77,20 +82,20 @@ def pin_threads(
         raise ValueError(
             f"{num_threads} threads exceed {capacity} cores on workers {workers}"
         )
-    if num_threads % len(workers) != 0:
+    if num_threads % len(compute) != 0:
         raise ValueError(
             f"thread count {num_threads} must be a multiple of the "
-            f"{len(workers)} worker nodes (paper Section III-A1)"
+            f"{len(compute)} compute worker nodes (paper Section III-A1)"
         )
-    per_node = num_threads // len(workers)
-    for w in workers:
+    per_node = num_threads // len(compute)
+    for w in compute:
         if per_node > machine.node(w).num_cores:
             raise ValueError(
                 f"{per_node} threads per node exceed the {machine.node(w).num_cores} "
                 f"cores of node {w}"
             )
     assignment: List[int] = []
-    for w in workers:
+    for w in compute:
         assignment.extend([w] * per_node)
     return tuple(assignment)
 

@@ -9,11 +9,17 @@ from repro.experiments.common import (
     ALL_POLICIES,
     BASELINE_POLICIES,
     RunOutcome,
+    ScenarioSpec,
+    derive_seed,
     get_canonical,
+    get_default_jobs,
     get_machine,
     optimal_worker_count,
     policy_comparison,
     run_scenario,
+    run_spec,
+    run_specs,
+    set_default_jobs,
     speedups_vs,
 )
 from repro.experiments.fig1 import Fig1aResult, Fig1bResult, run_fig1a, run_fig1b
@@ -51,11 +57,17 @@ __all__ = [
     "ALL_POLICIES",
     "BASELINE_POLICIES",
     "RunOutcome",
+    "ScenarioSpec",
+    "derive_seed",
     "get_canonical",
+    "get_default_jobs",
     "get_machine",
     "optimal_worker_count",
     "policy_comparison",
     "run_scenario",
+    "run_spec",
+    "run_specs",
+    "set_default_jobs",
     "speedups_vs",
     "Fig1aResult",
     "Fig1bResult",

@@ -140,7 +140,22 @@ def main(argv=None) -> int:
         choices=sorted(EXPERIMENTS) + ["all"],
         help="which figure/table to regenerate",
     )
+    parser.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan scenario sweeps out over N worker processes "
+        "(default: serial, or the BWAP_JOBS environment variable); "
+        "results are merged in order, so output is identical to serial",
+    )
     args = parser.parse_args(argv)
+
+    if args.jobs is not None:
+        from repro.experiments.common import set_default_jobs
+
+        set_default_jobs(args.jobs)
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

@@ -7,8 +7,11 @@ Swaptions, exactly as Section IV does — and measure its execution time.
 
 from __future__ import annotations
 
+import os
+import zlib
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -190,6 +193,106 @@ def run_scenario(
     )
 
 
+# --------------------------------------------------------------------- #
+# Parallel scenario fan-out
+# --------------------------------------------------------------------- #
+
+#: Scenario-level parallelism used when a runner is not given an explicit
+#: ``jobs`` argument. 1 = serial. Set via :func:`set_default_jobs` (the CLI's
+#: ``--jobs`` flag) or the ``BWAP_JOBS`` environment variable.
+_DEFAULT_JOBS = max(1, int(os.environ.get("BWAP_JOBS", "1")))
+
+
+def set_default_jobs(jobs: int) -> None:
+    """Set the process count sweeps use when ``jobs`` is not passed."""
+    global _DEFAULT_JOBS
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    _DEFAULT_JOBS = jobs
+
+
+def get_default_jobs() -> int:
+    """Current default scenario-level parallelism."""
+    return _DEFAULT_JOBS
+
+
+def derive_seed(base_seed: int, *components) -> int:
+    """Deterministic per-scenario seed from a base seed and scenario labels.
+
+    Stable across processes and Python invocations (unlike ``hash()``,
+    which is salted), so a parallel sweep reproduces the serial one
+    bit-for-bit.
+    """
+    text = repr((base_seed,) + components).encode()
+    return zlib.crc32(text) & 0x7FFFFFFF
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One (machine, workload, deployment, policy) scenario, picklable so it
+    can be shipped to a worker process.
+
+    ``machine`` is the registry name (``"A"``/``"B"``) or a concrete
+    :class:`Machine` — names are preferred: the worker then reuses its
+    per-process cached machine and canonical-tuner profiles.
+    """
+
+    machine: Union[str, Machine]
+    workload: WorkloadSpec
+    num_workers: int
+    policy: str
+    coscheduled: bool = False
+    num_threads: Optional[int] = None
+    static_weights: Optional[np.ndarray] = None
+    static_dwp: Optional[float] = None
+    bwap_config: Optional[BWAPConfig] = None
+    seed: int = 42
+    max_time: float = 36000.0
+
+    def resolve_machine(self) -> Machine:
+        """The concrete machine this scenario runs on."""
+        if isinstance(self.machine, str):
+            return get_machine(self.machine)
+        return self.machine
+
+
+def run_spec(spec: ScenarioSpec) -> RunOutcome:
+    """Run one :class:`ScenarioSpec` (module-level, hence pool-mappable)."""
+    machine = spec.resolve_machine()
+    return run_scenario(
+        machine,
+        spec.workload,
+        spec.num_workers,
+        spec.policy,
+        coscheduled=spec.coscheduled,
+        num_threads=spec.num_threads,
+        static_weights=spec.static_weights,
+        static_dwp=spec.static_dwp,
+        bwap_config=spec.bwap_config,
+        seed=spec.seed,
+        max_time=spec.max_time,
+    )
+
+
+def run_specs(
+    specs: Sequence[ScenarioSpec], *, jobs: Optional[int] = None
+) -> List[RunOutcome]:
+    """Run many scenarios, fanning out across processes when ``jobs`` > 1.
+
+    Results come back in input order regardless of completion order, and
+    each scenario carries its own seed, so parallel and serial execution
+    produce identical outcomes.
+    """
+    specs = list(specs)
+    jobs = _DEFAULT_JOBS if jobs is None else jobs
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if jobs == 1 or len(specs) <= 1:
+        return [run_spec(s) for s in specs]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
+        return list(pool.map(run_spec, specs))
+
+
 def policy_comparison(
     machine: Machine,
     workload: WorkloadSpec,
@@ -199,20 +302,33 @@ def policy_comparison(
     coscheduled: bool = False,
     num_threads: Optional[int] = None,
     seed: int = 42,
+    jobs: Optional[int] = None,
 ) -> Dict[str, RunOutcome]:
-    """Run a benchmark under several policies on the same scenario."""
-    return {
-        p: run_scenario(
-            machine,
-            workload,
-            num_workers,
-            p,
+    """Run a benchmark under several policies on the same scenario.
+
+    With ``jobs`` > 1 (or a process-level default from
+    :func:`set_default_jobs` / ``BWAP_JOBS``), the per-policy runs fan out
+    across worker processes; results are merged back in policy order.
+    """
+    machine_ref: Union[str, Machine] = machine
+    if machine.name in ("machine-A", "machine-B"):
+        # Ship the registry name, not the object: workers then share their
+        # per-process cached canonical profiles.
+        machine_ref = machine.name[-1]
+    specs = [
+        ScenarioSpec(
+            machine=machine_ref,
+            workload=workload,
+            num_workers=num_workers,
+            policy=p,
             coscheduled=coscheduled,
             num_threads=num_threads,
             seed=seed,
         )
         for p in policies
-    }
+    ]
+    outcomes = run_specs(specs, jobs=jobs)
+    return dict(zip(policies, outcomes))
 
 
 def speedups_vs(

@@ -13,8 +13,9 @@ from typing import Dict, List, Sequence
 
 from repro.experiments.common import (
     ALL_POLICIES,
+    ScenarioSpec,
     get_machine,
-    policy_comparison,
+    run_specs,
     speedups_vs,
 )
 from repro.experiments.report import format_speedup_series
@@ -54,19 +55,39 @@ def run_fig2(
     policies: Sequence[str] = ALL_POLICIES,
     benchmarks=None,
     seed: int = 42,
+    jobs=None,
 ) -> Fig2Result:
-    """Regenerate Fig. 2a-c."""
-    machine = get_machine("A")
+    """Regenerate Fig. 2a-c.
+
+    The full (worker count x benchmark x policy) grid is built up front and
+    fanned out across processes when ``jobs`` > 1 (or the process default
+    set by the CLI's ``--jobs`` flag); results merge back in grid order, so
+    parallel output is identical to serial.
+    """
+    get_machine("A")  # fail fast on registry problems before any fan-out
     workloads = benchmarks if benchmarks is not None else paper_benchmarks()
+    grid = [(n, wl) for n in worker_counts for wl in workloads]
+    specs = [
+        ScenarioSpec(
+            machine="A",
+            workload=wl,
+            num_workers=n,
+            policy=p,
+            coscheduled=True,
+            seed=seed,
+        )
+        for (n, wl) in grid
+        for p in policies
+    ]
+    results = run_specs(specs, jobs=jobs)
+
     speedups: Dict[int, Dict[str, Dict[str, float]]] = {}
     times: Dict[int, Dict[str, Dict[str, float]]] = {}
-    for n in worker_counts:
-        speedups[n] = {}
-        times[n] = {}
-        for wl in workloads:
-            outcomes = policy_comparison(
-                machine, wl, n, policies, coscheduled=True, seed=seed
-            )
-            speedups[n][wl.name] = speedups_vs(outcomes)
-            times[n][wl.name] = {p: o.exec_time_s for p, o in outcomes.items()}
+    per_cell = len(policies)
+    for i, (n, wl) in enumerate(grid):
+        outcomes = dict(zip(policies, results[i * per_cell : (i + 1) * per_cell]))
+        speedups.setdefault(n, {})[wl.name] = speedups_vs(outcomes)
+        times.setdefault(n, {})[wl.name] = {
+            p: o.exec_time_s for p, o in outcomes.items()
+        }
     return Fig2Result(speedups=speedups, exec_times=times)

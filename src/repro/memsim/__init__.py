@@ -17,6 +17,8 @@ from repro.memsim.controller import DEFAULT_MC_MODEL, MCModel
 from repro.memsim.flows import Consumer, consumer_from_placement
 from repro.memsim.contention import (
     Allocation,
+    SolverCache,
+    consumers_fingerprint,
     isolated_bandwidth_matrix,
     proportional_profile,
     solve,
@@ -58,6 +60,8 @@ __all__ = [
     "Consumer",
     "consumer_from_placement",
     "Allocation",
+    "SolverCache",
+    "consumers_fingerprint",
     "isolated_bandwidth_matrix",
     "proportional_profile",
     "solve",

@@ -23,6 +23,7 @@ Two allocation disciplines are provided:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
@@ -80,6 +81,133 @@ class Allocation:
         return self.utilization.get(key, 0.0)
 
 
+def consumers_fingerprint(
+    consumers: Sequence[Consumer], mc_model: MCModel = DEFAULT_MC_MODEL
+) -> Hashable:
+    """Exact, hashable identity of a contention-solve input.
+
+    Two inputs with equal fingerprints produce bitwise-identical
+    :class:`Allocation` results from :func:`solve` (the machine is assumed
+    fixed — cache per machine). Every quantity `solve` reads is folded in:
+    the consumer identities, demands, write fractions, and the raw bytes of
+    each mix vector, plus the MC model parameters.
+    """
+    return (
+        mc_model.efficiency_floor,
+        mc_model.contention_decay,
+        mc_model.write_cost_factor,
+        tuple(
+            (
+                c.app_id,
+                c.node,
+                c.demand,
+                c.write_fraction,
+                np.ascontiguousarray(c.mix, dtype=float).tobytes(),
+            )
+            for c in consumers
+        ),
+    )
+
+
+class SolverCache:
+    """LRU cache of :func:`solve` results keyed by input fingerprint.
+
+    The simulator's inner loop re-solves the machine-wide allocation every
+    epoch, but between placement changes (DWP steps, policy migrations, app
+    arrival/finish) the consumer set is bit-for-bit identical — the solve
+    is pure, so its previous :class:`Allocation` can be replayed. A small
+    LRU (rather than a single slot) also captures tuner probe phases that
+    alternate between a handful of placements.
+    """
+
+    def __init__(self, maxsize: int = 128):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[Hashable, Allocation]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        """Drop all entries (statistics are kept)."""
+        self._entries.clear()
+
+    def solve(
+        self,
+        machine: Machine,
+        consumers: Sequence[Consumer],
+        mc_model: MCModel = DEFAULT_MC_MODEL,
+    ) -> Allocation:
+        """Like :func:`solve`, but replaying a cached result when possible.
+
+        One cache instance must only ever see one machine: the fingerprint
+        deliberately excludes the (immutable, identity-stable) machine.
+        """
+        key = consumers_fingerprint(consumers, mc_model)
+        return self.solve_keyed(key, machine, consumers, mc_model)
+
+    def solve_keyed(
+        self,
+        key: Hashable,
+        machine: Machine,
+        consumers: Sequence[Consumer],
+        mc_model: MCModel = DEFAULT_MC_MODEL,
+    ) -> Allocation:
+        """Like :meth:`solve` with a precomputed fingerprint.
+
+        For callers (the simulator) that also key their own derived caches
+        on the fingerprint and must not pay for computing it twice.
+        """
+        hit = self._entries.get(key)
+        if hit is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return hit
+        self.misses += 1
+        alloc = solve(machine, consumers, mc_model)
+        self._entries[key] = alloc
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return alloc
+
+
+def _pair_link_table(
+    machine: Machine,
+) -> Dict[Tuple[int, int], Tuple[Tuple[ResourceKey, float, float], ...]]:
+    """Per-machine table of link resources on every remote (src, dst) pair.
+
+    Each entry is ``(link_key, per-unit coefficient, capacity)`` with the
+    multi-hop forwarding overhead folded into the coefficient. Machines are
+    immutable, so the table is computed once and memoised on the machine —
+    the contention solver runs every simulated epoch and must not re-walk
+    routes each time.
+    """
+    cache = getattr(machine, "_contention_pair_links", None)
+    if cache is None:
+        cache = {}
+        for src in range(machine.num_nodes):
+            for dst in range(machine.num_nodes):
+                if src == dst:
+                    continue
+                route = machine.route(src, dst)
+                overhead = 1.0 / (machine.hop_efficiency ** max(0, route.hops - 1))
+                cache[(src, dst)] = tuple(
+                    (("link", link.src, link.dst), overhead, link.capacity)
+                    for link in route.links
+                )
+        machine._contention_pair_links = cache  # type: ignore[attr-defined]
+    return cache
+
+
 def _consumer_resource_coefficients(
     machine: Machine, consumer: Consumer, write_scale: float
 ) -> Dict[ResourceKey, float]:
@@ -97,6 +225,7 @@ def _consumer_resource_coefficients(
     """
     coeffs: Dict[ResourceKey, float] = {}
     w = consumer.node
+    pair_links = _pair_link_table(machine)
     for src, frac in enumerate(consumer.mix):
         if frac <= 0:
             continue
@@ -104,10 +233,7 @@ def _consumer_resource_coefficients(
         coeffs[key_mc] = coeffs.get(key_mc, 0.0) + frac * write_scale
         if src == w:
             continue
-        route = machine.route(src, w)
-        overhead = 1.0 / (machine.hop_efficiency ** max(0, route.hops - 1))
-        for link in route.links:
-            key_l = ("link", link.src, link.dst)
+        for key_l, overhead, _cap in pair_links[(src, w)]:
             coeffs[key_l] = coeffs.get(key_l, 0.0) + frac * overhead
         key_in = ("ingress", w)
         coeffs[key_in] = coeffs.get(key_in, 0.0) + frac
@@ -128,6 +254,7 @@ def _resource_capacities(
                 readers.setdefault(src, set()).add(c.node)
 
     caps: Dict[ResourceKey, float] = {}
+    pair_links = _pair_link_table(machine)
     for src, nodes in readers.items():
         peak = machine.node(src).local_bandwidth
         caps[("mc", src)] = mc_model.effective_capacity(peak, len(nodes))
@@ -135,8 +262,8 @@ def _resource_capacities(
         for src, frac in enumerate(c.mix):
             if frac <= 0 or src == c.node:
                 continue
-            for link in machine.route(src, c.node).links:
-                caps[("link", link.src, link.dst)] = link.capacity
+            for key_l, _overhead, capacity in pair_links[(src, c.node)]:
+                caps[key_l] = capacity
         ingress = machine.ingress_capacity(c.node)
         if np.isfinite(ingress):
             caps[("ingress", c.node)] = ingress
@@ -182,7 +309,7 @@ def solve(
     active = np.ones(n, dtype=bool)
 
     # Dense per-resource coefficient matrix for vectorised load computation.
-    res_keys: List[ResourceKey] = sorted(caps.keys(), key=repr)
+    res_keys: List[ResourceKey] = sorted(caps.keys())
     res_index = {k: i for i, k in enumerate(res_keys)}
     A = np.zeros((len(res_keys), n))
     for j, cf in enumerate(coeffs):
@@ -325,28 +452,31 @@ def proportional_profile(
             if np.isfinite(ingress):
                 add(("ingress", dst), ingress, fi, 1.0)
 
+    # Dense resource x flow coefficient matrix: the overload scan each
+    # iteration is then two matrix ops instead of a per-flow Python loop.
+    res_keys: List[ResourceKey] = list(res_caps)
+    B = np.zeros((len(res_keys), len(flows)))
+    for ri, key in enumerate(res_keys):
+        B[ri, res_members[key]] = res_coef[key]
+    cap_vec = np.array([res_caps[k] for k in res_keys])
+    member_idx = {k: np.asarray(res_members[k]) for k in res_keys}
+
     for _ in range(max_iterations):
-        worst_key, worst_factor = None, 1.0
-        for key, cap in res_caps.items():
-            members = res_members[key]
-            coefs = res_coef[key]
-            load = sum(rates[m] * c for m, c in zip(members, coefs))
-            if load > cap * (1 + _EPS):
-                factor = cap / load
-                if factor < worst_factor:
-                    worst_key, worst_factor = key, factor
-        if worst_key is None:
+        loads = B @ rates
+        with np.errstate(divide="ignore", invalid="ignore"):
+            factors = np.where(loads > 0, cap_vec / loads, np.inf)
+        overloaded = loads > cap_vec * (1 + _EPS)
+        if not overloaded.any():
             break
-        members = res_members[worst_key]
-        coefs = res_coef[worst_key]
+        worst = int(np.argmin(np.where(overloaded, factors, np.inf)))
+        worst_key = res_keys[worst]
         if worst_key[0] == "mc":
             # Controllers arbitrate fairly among requestors: equal-share.
-            _waterfill(members, coefs, res_caps[worst_key])
+            _waterfill(res_members[worst_key], res_coef[worst_key], res_caps[worst_key])
         else:
             # Links and ingress ports throttle in-flight traffic
             # proportionally, preserving path asymmetry.
-            for m in members:
-                rates[m] *= worst_factor
+            rates[member_idx[worst_key]] *= factors[worst]
 
     out = np.zeros((n, n))
     for (src, dst), rate in zip(flows, rates):

@@ -119,6 +119,13 @@ class AddressSpace:
         self._segments: List[Segment] = []
         self._page_nodes = np.empty(0, dtype=np.int16)
         self._next_page = 0
+        #: Monotonic placement version: bumped by every mutation that backs,
+        #: moves, or maps pages. Lets per-epoch consumers of the placement
+        #: statistics (the simulator asks every epoch) reuse memoised
+        #: histograms between placement changes.
+        self._version = 0
+        self._hist_cache: Dict[Optional[Tuple[Tuple[int, int], ...]], np.ndarray] = {}
+        self._dist_cache: Dict[Optional[Tuple[Tuple[int, int], ...]], np.ndarray] = {}
 
     # ------------------------------------------------------------------ #
     # Allocation
@@ -148,6 +155,7 @@ class AddressSpace:
         self._next_page += num_pages
         grown = np.full(num_pages, UNALLOCATED, dtype=np.int16)
         self._page_nodes = np.concatenate([self._page_nodes, grown])
+        self._bump_version()
         return seg
 
     @property
@@ -192,6 +200,16 @@ class AddressSpace:
         if not 0 <= node < self.num_nodes:
             raise ValueError(f"node {node} outside machine with {self.num_nodes} nodes")
 
+    @property
+    def version(self) -> int:
+        """Placement version, bumped on every mutation of the page table."""
+        return self._version
+
+    def _bump_version(self) -> None:
+        self._version += 1
+        self._hist_cache.clear()
+        self._dist_cache.clear()
+
     def touch(self, segment: Segment, node: int) -> int:
         """First-touch all still-unallocated pages of a segment onto ``node``.
 
@@ -201,8 +219,11 @@ class AddressSpace:
         self._check_node(node)
         view = self.page_nodes(segment)
         mask = view == UNALLOCATED
-        view[mask] = node
-        return int(mask.sum())
+        allocated = int(mask.sum())
+        if allocated:
+            view[mask] = node
+            self._bump_version()
+        return allocated
 
     def set_pages(self, start_page: int, assignment: np.ndarray) -> int:
         """Directly assign nodes to a page range; returns pages *moved*.
@@ -215,33 +236,66 @@ class AddressSpace:
         if len(assignment) and (assignment.min() < 0 or assignment.max() >= self.num_nodes):
             raise ValueError("assignment contains invalid node ids")
         view = self._page_nodes[start_page : start_page + len(assignment)]
-        moved = int(((view != UNALLOCATED) & (view != assignment)).sum())
-        view[:] = assignment
+        changed = view != assignment
+        moved = int(((view != UNALLOCATED) & changed).sum())
+        if changed.any():
+            view[:] = assignment
+            self._bump_version()
         return moved
 
     # ------------------------------------------------------------------ #
     # Placement statistics
     # ------------------------------------------------------------------ #
 
-    def node_histogram(self, segments: Optional[Iterable[Segment]] = None) -> np.ndarray:
-        """Allocated-page counts per node over the given segments (or all)."""
+    @staticmethod
+    def _segments_key(
+        segments: Optional[Iterable[Segment]],
+    ) -> Tuple[Optional[Tuple[Tuple[int, int], ...]], Optional[List[Segment]]]:
+        """Hashable cache key for a segment selection (None = whole space)."""
         if segments is None:
+            return None, None
+        segs = list(segments)
+        return tuple(s.page_range() for s in segs), segs
+
+    def node_histogram(self, segments: Optional[Iterable[Segment]] = None) -> np.ndarray:
+        """Allocated-page counts per node over the given segments (or all).
+
+        Memoised until the next placement mutation; the returned array is
+        read-only (copy before modifying).
+        """
+        key, segs = self._segments_key(segments)
+        cached = self._hist_cache.get(key)
+        if cached is not None:
+            return cached
+        if segs is None:
             data = self._page_nodes
         else:
-            parts = [self.page_nodes(s) for s in segments]
+            parts = [self.page_nodes(s) for s in segs]
             data = np.concatenate(parts) if parts else np.empty(0, dtype=np.int16)
         allocated = data[data != UNALLOCATED]
-        return np.bincount(allocated, minlength=self.num_nodes).astype(np.int64)
+        hist = np.bincount(allocated, minlength=self.num_nodes).astype(np.int64)
+        hist.setflags(write=False)
+        self._hist_cache[key] = hist
+        return hist
 
     def placement_distribution(
         self, segments: Optional[Iterable[Segment]] = None
     ) -> np.ndarray:
-        """Fraction of allocated pages on each node (zeros if none allocated)."""
-        hist = self.node_histogram(segments)
+        """Fraction of allocated pages on each node (zeros if none allocated).
+
+        Memoised until the next placement mutation; the returned array is
+        read-only (copy before modifying).
+        """
+        key, segs = self._segments_key(segments)
+        cached = self._dist_cache.get(key)
+        if cached is not None:
+            return cached
+        hist = self.node_histogram(segs if segs is not None else None)
         total = hist.sum()
-        if total == 0:
-            return np.zeros(self.num_nodes)
-        return hist / total
+        dist = np.zeros(self.num_nodes) if total == 0 else hist / total
+        dist.setflags(write=False)
+        self._dist_cache[key] = dist
+        return dist
 
     def allocated_pages(self) -> int:
         """Number of pages with physical backing."""

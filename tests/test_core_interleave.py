@@ -155,3 +155,56 @@ class TestUserLevelAccuracyScaling:
         w = np.array([0.35, 0.28, 0.22, 0.15])
         apply_weighted_user(sp, seg, w)
         assert placement_error(sp, w) < 0.02
+
+
+class TestAlgorithm1RoundingTail:
+    def test_plan_never_exceeds_active_node_count(self):
+        # Rounding- and tie-heavy weight vectors must stay within the
+        # paper's N-mbind bound (no extra tail sub-range).
+        cases = [
+            [0.37, 0.23, 0.21, 0.19],
+            [0.5, 0.5],
+            [0.5, 0.25, 0.25],
+            [1 / 3, 1 / 3, 1 / 3],
+            [0.7, 0.1, 0.1, 0.1],
+            [0.999, 0.001],
+        ]
+        for weights in cases:
+            for pages in (1, 7, 997, 100_000):
+                plan = algorithm1_subranges(pages, weights)
+                active = sum(1 for w in weights if w > 0)
+                assert len(plan) <= active, (weights, pages)
+                covered = 0
+                for start, length, _nodes in plan:
+                    assert start == covered  # contiguous, no overlap
+                    assert length > 0
+                    covered += length
+                assert covered == pages, (weights, pages)
+
+    def test_tie_weights_do_not_double_count(self):
+        # Ties make trailing sub-ranges zero-size; the leftover pages must
+        # be absorbed by the last active sub-range, not re-issued over the
+        # full node set.
+        plan = algorithm1_subranges(1001, [0.25, 0.25, 0.25, 0.25])
+        assert len(plan) == 1
+        assert plan[0] == (0, 1001, (0, 1, 2, 3))
+
+
+class TestPlacementErrorValidation:
+    def test_zero_sum_weights_raise(self):
+        sp, seg = make_space()
+        apply_weighted_user(sp, seg, [0.5, 0.3, 0.1, 0.1])
+        with pytest.raises(ValueError):
+            placement_error(sp, [0.0, 0.0, 0.0, 0.0])
+
+    def test_negative_weights_raise(self):
+        sp, seg = make_space()
+        apply_weighted_user(sp, seg, [0.5, 0.3, 0.1, 0.1])
+        with pytest.raises(ValueError):
+            placement_error(sp, [0.5, 0.5, -0.5, 0.5])
+
+    def test_valid_weights_unchanged(self):
+        sp, seg = make_space()
+        apply_weighted_user(sp, seg, [0.4, 0.3, 0.2, 0.1])
+        err = placement_error(sp, [0.4, 0.3, 0.2, 0.1])
+        assert 0.0 <= err < 0.05

@@ -201,3 +201,95 @@ class TestTunerIntegration:
         sim.charge_migration(app, 123)
         res = sim.run()
         assert res.migration["a"].pages_moved == 123
+
+
+class TestSolverCache:
+    """The contention-solve replay cache must be invisible in results."""
+
+    def _run(self, mach, *, cache, build):
+        sim = Simulator(mach, solver_cache=cache)
+        build(sim, mach)
+        return sim, sim.run()
+
+    @staticmethod
+    def _static(sim, mach):
+        sim.add_app(Application("a", wl(), mach, (0, 1), policy=UniformAll()))
+        sim.add_app(Application("b", wl(), mach, (2,), policy=FirstTouch()))
+
+    @staticmethod
+    def _coscheduled_epochs(sim, mach):
+        sim.add_app(Application("bg", wl(work_bytes=1e13), mach, (2, 3),
+                                policy=UniformAll(), looping=True))
+        sim.add_app(Application("fg", wl(), mach, (0, 1), policy=UniformAll()))
+        sim.add_tuner(_StepCountingTuner())  # never settles: epoch granularity
+
+    @staticmethod
+    def _adaptive(sim, mach):
+        from repro.memsim import AutoNUMA
+
+        sim.add_app(Application("a", wl(), mach, (0, 1), policy=AutoNUMA()))
+
+    @pytest.mark.parametrize("build", ["_static", "_coscheduled_epochs", "_adaptive"])
+    def test_results_bitwise_equal_cache_on_off(self, mach_b, build):
+        builder = getattr(self, build)
+        _, with_cache = self._run(mach_b, cache=True, build=builder)
+        _, without = self._run(mach_b, cache=False, build=builder)
+        assert with_cache.execution_times == without.execution_times  # bitwise
+        assert with_cache.sim_time == without.sim_time
+        for aid, tele in with_cache.telemetry.items():
+            assert tele.mean_stall_fraction == without.telemetry[aid].mean_stall_fraction
+            assert tele.mean_throughput_gbps == without.telemetry[aid].mean_throughput_gbps
+
+    def test_settled_phases_hit_cache(self, mach_b):
+        sim, _ = self._run(mach_b, cache=True, build=self._coscheduled_epochs)
+        # Placement never changes while both apps run, so nearly every epoch
+        # after the first replays the previous solve.
+        assert sim.solver_cache.hits > 0
+        assert sim.solver_cache.hit_rate > 0.5
+
+    def test_placement_change_invalidates(self, mach_b):
+        sim, _ = self._run(mach_b, cache=True, build=self._adaptive)
+        # AutoNUMA migrates pages over its convergence epochs: each changed
+        # placement must re-solve.
+        assert sim.solver_cache.misses >= 2
+
+    def test_app_finish_invalidates(self, mach_b):
+        def build(sim, mach):
+            sim.add_app(Application("short", wl(work_bytes=5e9), mach, (0,),
+                                    policy=UniformAll()))
+            sim.add_app(Application("long", wl(work_bytes=50e9), mach, (1,),
+                                    policy=UniformAll()))
+            sim.add_tuner(_StepCountingTuner())
+
+        sim, res = self._run(mach_b, cache=True, build=build)
+        assert res.execution_time("short") < res.execution_time("long")
+        # Departure of the short app changes the consumer set: >= 2 solves.
+        assert sim.solver_cache.misses >= 2
+
+    def test_cache_disabled_means_no_cache_object(self, mach_b):
+        sim = Simulator(mach_b, solver_cache=False)
+        assert sim.solver_cache is None
+
+
+class TestMemoryOnlyWorkerNodes:
+    """Hybrid (CXL/NVM) topologies: core-less nodes in the worker set."""
+
+    def test_coreless_first_worker_runs(self):
+        from repro.topology import hybrid_dram_nvm
+
+        mach = hybrid_dram_nvm()  # nodes 0-1 DRAM+cores, 2-3 memory-only
+        sim = Simulator(mach)
+        # Worker set deliberately leads with the memory-only node: the
+        # counter update used to read .cores[0] of it and IndexError.
+        sim.add_app(Application("a", wl(), mach, (2, 0), policy=UniformWorkers()))
+        res = sim.run()
+        assert res.execution_time("a") > 0
+        assert sim.app("a").threads_on(2) == 0
+        assert sim.app("a").threads_on(0) == mach.node(0).num_cores
+
+    def test_all_coreless_workers_rejected(self):
+        from repro.topology import hybrid_dram_nvm
+
+        mach = hybrid_dram_nvm()
+        with pytest.raises(ValueError):
+            Application("a", wl(), mach, (2, 3), policy=UniformWorkers())

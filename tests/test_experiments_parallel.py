@@ -1,0 +1,131 @@
+"""The parallel scenario fan-out (ScenarioSpec / run_specs / --jobs)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import (
+    ScenarioSpec,
+    derive_seed,
+    get_default_jobs,
+    policy_comparison,
+    run_scenario,
+    run_spec,
+    run_specs,
+    set_default_jobs,
+)
+from repro.workloads import streamcluster
+
+
+def small_sc(work_bytes=60e9):
+    return dataclasses.replace(streamcluster(), work_bytes=work_bytes)
+
+
+def specs_grid():
+    wl = small_sc()
+    return [
+        ScenarioSpec(machine="B", workload=wl, num_workers=n, policy=p, seed=7)
+        for n in (1, 2)
+        for p in ("first-touch", "uniform-all")
+    ]
+
+
+class TestScenarioSpec:
+    def test_resolves_registry_machine(self):
+        spec = specs_grid()[0]
+        assert spec.resolve_machine().name == "machine-B"
+
+    def test_accepts_concrete_machine(self, small_symmetric):
+        spec = ScenarioSpec(
+            machine=small_symmetric,
+            workload=small_sc(),
+            num_workers=1,
+            policy="uniform-all",
+        )
+        assert spec.resolve_machine() is small_symmetric
+        out = run_spec(spec)
+        assert out.exec_time_s > 0
+
+    def test_run_spec_matches_run_scenario(self, mach_b):
+        spec = specs_grid()[0]
+        direct = run_scenario(
+            mach_b, spec.workload, spec.num_workers, spec.policy, seed=spec.seed
+        )
+        assert run_spec(spec).exec_time_s == direct.exec_time_s
+
+
+class TestRunSpecs:
+    def test_parallel_equals_serial_in_order(self):
+        specs = specs_grid()
+        serial = run_specs(specs, jobs=1)
+        parallel = run_specs(specs, jobs=2)
+        assert [o.exec_time_s for o in serial] == [o.exec_time_s for o in parallel]
+        assert [o.mean_stall for o in serial] == [o.mean_stall for o in parallel]
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError):
+            run_specs(specs_grid(), jobs=0)
+
+    def test_default_jobs_roundtrip(self):
+        before = get_default_jobs()
+        try:
+            set_default_jobs(3)
+            assert get_default_jobs() == 3
+            with pytest.raises(ValueError):
+                set_default_jobs(0)
+        finally:
+            set_default_jobs(before)
+
+
+class TestPolicyComparisonJobs:
+    def test_jobs_param_preserves_results(self, mach_b):
+        wl = small_sc()
+        serial = policy_comparison(
+            mach_b, wl, 2, ("first-touch", "uniform-all"), seed=7, jobs=1
+        )
+        fanned = policy_comparison(
+            mach_b, wl, 2, ("first-touch", "uniform-all"), seed=7, jobs=2
+        )
+        assert list(serial) == list(fanned)  # policy order preserved
+        for p in serial:
+            assert serial[p].exec_time_s == fanned[p].exec_time_s
+
+
+class TestDeriveSeed:
+    def test_deterministic_and_distinct(self):
+        a = derive_seed(42, "A", "SC", 2, "bwap")
+        assert a == derive_seed(42, "A", "SC", 2, "bwap")
+        assert a != derive_seed(42, "A", "SC", 4, "bwap")
+        assert a != derive_seed(43, "A", "SC", 2, "bwap")
+
+    def test_in_valid_seed_range(self):
+        for i in range(50):
+            s = derive_seed(1, i)
+            assert 0 <= s < 2**31
+            assert isinstance(s, int)
+
+    def test_usable_by_simulator(self, mach_b):
+        out = run_scenario(
+            mach_b, small_sc(), 1, "uniform-all", seed=derive_seed(42, "smoke")
+        )
+        assert out.exec_time_s > 0
+
+
+class TestCliJobsFlag:
+    def test_jobs_flag_sets_default(self, capsys):
+        from repro.experiments.cli import main
+
+        before = get_default_jobs()
+        try:
+            assert main(["machines", "--jobs", "2"]) == 0
+            assert get_default_jobs() == 2
+            assert "machine-A" in capsys.readouterr().out
+        finally:
+            set_default_jobs(before)
+
+    def test_rejects_bad_jobs(self):
+        from repro.experiments.cli import main
+
+        with pytest.raises(ValueError):
+            main(["machines", "--jobs", "0"])

@@ -218,3 +218,92 @@ class TestAllocationAccessors:
         c = Consumer("a", 0, 4, one_hot(2, 0), 1.0)
         alloc = solve(small_symmetric, [c], IDEAL_MC)
         assert alloc.resource_utilization(("link", 0, 1)) == 0.0
+
+
+class TestSolverCache:
+    def _consumers(self, demand=4.0):
+        return [
+            Consumer("a", 0, 8, np.array([0.5, 0.5, 0.0, 0.0, 0, 0, 0, 0]), demand),
+            Consumer("a", 1, 8, np.array([0.25, 0.25, 0.25, 0.25, 0, 0, 0, 0]), demand),
+        ]
+
+    def test_replays_identical_allocation_object(self, mach_a):
+        from repro.memsim.contention import SolverCache
+
+        cache = SolverCache()
+        first = cache.solve(mach_a, self._consumers())
+        second = cache.solve(mach_a, self._consumers())
+        assert second is first
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_any_input_change_invalidates(self, mach_a):
+        from repro.memsim.contention import SolverCache
+
+        cache = SolverCache()
+        cache.solve(mach_a, self._consumers(demand=4.0))
+        cache.solve(mach_a, self._consumers(demand=5.0))  # demand change
+        mixed = self._consumers()
+        mixed[0] = Consumer("a", 0, 8, np.array([1.0, 0, 0, 0, 0, 0, 0, 0]), 4.0)
+        cache.solve(mach_a, mixed)  # placement (mix) change
+        cache.solve(mach_a, mixed[:1])  # app departure
+        assert cache.hits == 0 and cache.misses == 4
+
+    def test_mc_model_part_of_key(self, mach_a):
+        from repro.memsim.contention import SolverCache
+
+        cache = SolverCache()
+        cache.solve(mach_a, self._consumers(), IDEAL_MC)
+        cache.solve(mach_a, self._consumers(), MCModel())
+        assert cache.misses == 2
+
+    def test_lru_eviction_bounded(self, mach_a):
+        from repro.memsim.contention import SolverCache
+
+        cache = SolverCache(maxsize=2)
+        for d in (1.0, 2.0, 3.0, 4.0):
+            cache.solve(mach_a, self._consumers(demand=d))
+        assert len(cache) == 2
+        # Oldest entry was evicted: re-solving it misses again.
+        cache.solve(mach_a, self._consumers(demand=1.0))
+        assert cache.misses == 5 and cache.hits == 0
+
+    def test_rejects_bad_maxsize(self):
+        from repro.memsim.contention import SolverCache
+
+        with pytest.raises(ValueError):
+            SolverCache(maxsize=0)
+
+    def test_property_cached_equals_fresh(self, mach_a):
+        """Cached and freshly-solved allocations agree exactly on randomly
+        generated consumer sets (the solve is pure, so replay is exact)."""
+        from repro.memsim.contention import SolverCache
+
+        rng = np.random.default_rng(7)
+        cache = SolverCache()
+        for trial in range(25):
+            consumers = []
+            for node in range(int(rng.integers(1, 5))):
+                mix = rng.random(8)
+                mix /= mix.sum()
+                demand = float(rng.uniform(0.5, 30.0))
+                consumers.append(Consumer("app", node, 8, mix, demand))
+            fresh = solve(mach_a, consumers)
+            cached_cold = cache.solve(mach_a, consumers)
+            cached_warm = cache.solve(mach_a, consumers)
+            assert cached_warm is cached_cold
+            for key, rate in fresh.rates.items():
+                assert cached_warm.rates[key] == rate  # bitwise, no tolerance
+            assert fresh.bottleneck == cached_warm.bottleneck
+            assert fresh.capacities == cached_warm.capacities
+
+
+class TestFingerprint:
+    def test_stable_and_order_sensitive(self, mach_a):
+        from repro.memsim.contention import consumers_fingerprint
+
+        a = Consumer("a", 0, 8, one_hot(8, 0), 4.0)
+        b = Consumer("b", 1, 8, one_hot(8, 1), 4.0)
+        assert consumers_fingerprint([a, b]) == consumers_fingerprint([a, b])
+        assert consumers_fingerprint([a, b]) != consumers_fingerprint([b, a])
+        assert hash(consumers_fingerprint([a, b])) is not None
