@@ -25,6 +25,7 @@ from repro.core.dwp import (
     DWPStep,
     DWPTuner,
     combine_weights,
+    dwp_probe_curve,
 )
 from repro.core.bwap import BWAPConfig, bwap_init, canonical_or_uniform
 from repro.core.classify import (
@@ -37,8 +38,10 @@ from repro.core.classify import (
 from repro.core.adaptive import AdaptiveBWAP, AdaptiveConfig, AdaptiveState
 from repro.core.split import SplitDWPTuner, SplitPlacement, split_bwap_init
 from repro.core.search import (
+    BatchedAnalyticEvaluator,
     SearchResult,
     hill_climb,
+    make_analytic_evaluator,
     make_placement_evaluator,
     search_optimal_placement,
     uniform_workers_start,
@@ -58,6 +61,7 @@ __all__ = [
     "DWPStep",
     "DWPTuner",
     "combine_weights",
+    "dwp_probe_curve",
     "BWAPConfig",
     "bwap_init",
     "canonical_or_uniform",
@@ -72,8 +76,10 @@ __all__ = [
     "SplitDWPTuner",
     "SplitPlacement",
     "split_bwap_init",
+    "BatchedAnalyticEvaluator",
     "SearchResult",
     "hill_climb",
+    "make_analytic_evaluator",
     "make_placement_evaluator",
     "search_optimal_placement",
     "uniform_workers_start",

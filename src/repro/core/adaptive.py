@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -185,6 +185,30 @@ class AdaptiveBWAP(Tuner):
     def final_dwp(self) -> Optional[float]:
         """The most recent search's DWP (None before the first search)."""
         return None if self._inner is None else self._inner.final_dwp
+
+    def analytic_probe(
+        self, dwp_values: Sequence[float] = tuple(i / 10 for i in range(11))
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Read-only analytic DWP curve for the app's deployment.
+
+        Scores the whole candidate DWP ladder in one batched evaluation
+        (see :func:`repro.core.dwp.dwp_probe_curve`) without touching the
+        live simulation — a cheap preview of where the online climb should
+        settle, and a diagnostic for why a re-tune moved. Returns the
+        probed DWP values and the predicted execution time at each.
+        """
+        from repro.core.dwp import dwp_probe_curve
+
+        dwps = np.asarray([float(d) for d in dwp_values])
+        times = dwp_probe_curve(
+            self.app.machine,
+            self.app.workload,
+            self.app.worker_nodes,
+            self.canonical,
+            dwps,
+            num_threads=self.app.num_threads,
+        )
+        return dwps, times
 
     # ------------------------------------------------------------------ #
     # Internals

@@ -66,6 +66,44 @@ def combine_weights(
     return out
 
 
+def dwp_probe_curve(
+    machine,
+    workload,
+    worker_nodes: Sequence[int],
+    canonical: Sequence[float],
+    dwp_values: Sequence[float],
+    *,
+    mc_model=None,
+    num_threads: Optional[int] = None,
+) -> np.ndarray:
+    """Analytic execution time at each DWP value, in one batched pass.
+
+    The offline counterpart of the online climb: blend the canonical
+    weights with every candidate DWP (:func:`combine_weights`) and score
+    the whole ladder as one weight matrix through the batched analytic
+    evaluator. One vectorised contention solve per filling round covers
+    all DWP values, so probing a full curve costs barely more than a
+    single point — this is what the DWP ablation experiments sweep.
+    """
+    from repro.core.search import make_analytic_evaluator
+    from repro.memsim.controller import DEFAULT_MC_MODEL
+
+    dwps = [float(d) for d in dwp_values]
+    if not dwps:
+        raise ValueError("dwp_values must not be empty")
+    weight_matrix = np.stack(
+        [combine_weights(canonical, worker_nodes, d) for d in dwps]
+    )
+    evaluator = make_analytic_evaluator(
+        machine,
+        workload,
+        worker_nodes,
+        mc_model=DEFAULT_MC_MODEL if mc_model is None else mc_model,
+        num_threads=num_threads,
+    )
+    return evaluator.evaluate_many(weight_matrix)
+
+
 @dataclass(frozen=True)
 class DWPStep:
     """One decision point in the tuner's trajectory."""

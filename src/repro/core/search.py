@@ -6,12 +6,19 @@ per application on the real machine. On the simulated substrate each
 evaluation is a fast static run, so the same oracle regenerates Fig. 1b in
 seconds. The search is also the ground truth the property tests compare
 BWAP's two-stage approximation against.
+
+The analytic objective is batched: :class:`BatchedAnalyticEvaluator` scores
+a whole matrix of candidate weight vectors in one vectorised pass through
+:func:`repro.memsim.contention.solve_batch_arrays`, and :func:`hill_climb`
+submits each iteration's full neighbour set as one such matrix. The scalar
+evaluator is the batch of one, so batched and one-at-a-time scoring give
+bitwise-identical search trajectories.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -48,6 +55,26 @@ def uniform_workers_start(num_nodes: int, worker_nodes: Sequence[int]) -> np.nda
     return w
 
 
+def _dedupe_top(
+    top: List[Tuple[np.ndarray, float]], keep_top: int
+) -> List[Tuple[np.ndarray, float]]:
+    """Best ``keep_top`` *distinct* distributions (already sorted by value).
+
+    Post-clamp renormalisation can reproduce a vector already on the list;
+    near-identical duplicates (equal to 6 decimals) would then occupy
+    several of the paper's top-10 averaging slots.
+    """
+    seen = set()
+    deduped = []
+    for wt, val in top:
+        key = tuple(np.round(wt, 6))
+        if key in seen:
+            continue
+        seen.add(key)
+        deduped.append((wt, val))
+    return deduped[:keep_top]
+
+
 def hill_climb(
     evaluate: Callable[[np.ndarray], float],
     start: np.ndarray,
@@ -62,6 +89,13 @@ def hill_climb(
     Each iteration tries transferring a ``step`` fraction of mass between
     every ordered node pair and keeps the best improving move; when no move
     improves, the step is halved until ``min_step``.
+
+    If ``evaluate`` exposes an ``evaluate_many(weight_matrix)`` method (see
+    :class:`BatchedAnalyticEvaluator`), each iteration's whole neighbour
+    set is scored in one batched call. Candidate values are memoised per
+    search either way, so a vector revisited across iterations is never
+    re-evaluated; ``SearchResult.evaluations`` counts actual evaluator
+    invocations.
     """
     w = np.asarray(start, dtype=float)
     if (w < 0).any() or w.sum() <= 0:
@@ -69,33 +103,58 @@ def hill_climb(
     w = w / w.sum()
     n = len(w)
 
-    best_val = evaluate(w)
-    evaluations = 1
+    evaluate_many = getattr(evaluate, "evaluate_many", None)
+    memo: Dict[bytes, float] = {}
+    evaluations = 0
+
+    def score_all(cands: List[np.ndarray]) -> List[float]:
+        nonlocal evaluations
+        fresh: List[np.ndarray] = []
+        queued = set()
+        for cand in cands:
+            key = cand.tobytes()
+            if key not in memo and key not in queued:
+                queued.add(key)
+                fresh.append(cand)
+        if fresh:
+            if evaluate_many is not None:
+                vals = evaluate_many(np.stack(fresh))
+                for cand, val in zip(fresh, vals):
+                    memo[cand.tobytes()] = float(val)
+            else:
+                for cand in fresh:
+                    memo[cand.tobytes()] = float(evaluate(cand))
+            evaluations += len(fresh)
+        return [memo[cand.tobytes()] for cand in cands]
+
+    best_val = score_all([w])[0]
     history: List[Tuple[np.ndarray, float]] = [(w.copy(), best_val)]
     top: List[Tuple[np.ndarray, float]] = [(w.copy(), best_val)]
     cur_step = step
     iterations = 0
+    # dsts_of[s] = every destination node but s, ascending.
+    dsts_of = np.array([[d for d in range(n) if d != s] for s in range(n)])
 
     for iterations in range(1, max_iterations + 1):
+        # One move per ordered (src, dst) pair with mass left at src:
+        # transfer `amount`, clamp dust to zero, renormalise. Built as one
+        # matrix (row per move, same order as the nested-loop equivalent).
+        srcs = np.nonzero(w > _MIN_WEIGHT)[0]
+        amounts = np.minimum(cur_step * np.maximum(w[srcs], 1.0 / n), w[srcs])
+        rows = np.arange(len(srcs) * (n - 1))
+        cand_matrix = np.repeat(w[None, :], len(rows), axis=0)
+        cand_matrix[rows, np.repeat(srcs, n - 1)] -= np.repeat(amounts, n - 1)
+        cand_matrix[rows, dsts_of[srcs].ravel()] += np.repeat(amounts, n - 1)
+        cand_matrix[cand_matrix < _MIN_WEIGHT] = 0.0
+        cand_matrix /= cand_matrix.sum(axis=1, keepdims=True)
+        candidates = list(cand_matrix)
+        values = score_all(candidates)
+
         best_move: Optional[np.ndarray] = None
         best_move_val = best_val
-        for src in range(n):
-            if w[src] <= _MIN_WEIGHT:
-                continue
-            amount = cur_step * max(w[src], 1.0 / n)
-            amount = min(amount, w[src])
-            for dst in range(n):
-                if dst == src:
-                    continue
-                cand = w.copy()
-                cand[src] -= amount
-                cand[dst] += amount
-                cand[cand < _MIN_WEIGHT] = 0.0
-                cand /= cand.sum()
-                val = evaluate(cand)
-                evaluations += 1
-                if val < best_move_val - 1e-12:
-                    best_move, best_move_val = cand, val
+        for cand, val in zip(candidates, values):
+            if val < best_move_val - 1e-12:
+                best_move, best_move_val = cand, val
         if best_move is None:
             if cur_step <= min_step:
                 break
@@ -105,7 +164,7 @@ def hill_climb(
         history.append((w.copy(), best_val))
         top.append((w.copy(), best_val))
         top.sort(key=lambda p: p[1])
-        del top[keep_top:]
+        top = _dedupe_top(top, keep_top)
 
     return SearchResult(
         weights=w,
@@ -115,6 +174,159 @@ def hill_climb(
         history=history,
         top=top,
     )
+
+
+class BatchedAnalyticEvaluator:
+    """Execution time under exact weighted placements, batched.
+
+    Under the kernel-exact weighted interleave every segment — shared and
+    private alike — follows the weight distribution, so each worker's
+    traffic mix *is* the weight vector. That removes the address-space
+    machinery from the inner loop; batching then scores a whole matrix of
+    candidate weight vectors against one vectorised contention solve per
+    round instead of one solve per candidate.
+
+    Calling the evaluator with a single weight vector is exactly
+    ``evaluate_many`` on a 1-row matrix, so scalar and batched scoring are
+    bitwise-identical: every reduction that crosses the consumer axis
+    accumulates sequentially (see ``contention._axis_n_dot``) and all
+    remaining operations are elementwise over independent batch rows.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        workload: WorkloadSpec,
+        worker_nodes: Sequence[int],
+        *,
+        mc_model: MCModel = DEFAULT_MC_MODEL,
+        num_threads: Optional[int] = None,
+    ):
+        from repro.engine.threads import pin_threads, threads_per_node
+        from repro.memsim.contention import machine_tables
+        from repro.perf.latency import DEFAULT_LATENCY_MODEL
+
+        self.machine = machine
+        self.workload = workload
+        self.workers = tuple(worker_nodes)
+        self.mc_model = mc_model
+
+        thread_nodes = pin_threads(machine, self.workers, num_threads)
+        counts = threads_per_node(thread_nodes)
+        total_threads = len(thread_nodes)
+        num_workers = len(self.workers)
+
+        self._node_idx = np.array(self.workers, dtype=np.intp)
+        self._demand = np.array(
+            [
+                workload.node_demand_gbps(
+                    counts.get(nd, 0), total_threads, num_workers
+                )
+                for nd in self.workers
+            ]
+        )
+        self._remaining0 = np.array(
+            [
+                workload.work_bytes * counts.get(nd, 0) / total_threads
+                for nd in self.workers
+            ]
+        )
+        self._write_fraction = np.full(num_workers, workload.write_fraction)
+        self._useful = workload.node_efficiency(num_workers)
+        self._latency_weight = workload.latency_weight
+
+        tables = machine_tables(machine)
+        self._tables = tables
+        # Latency incidence restricted to the worker rows: Q_sel[i, s, r]
+        # counts resource r's queueing delay in a (source s -> worker i)
+        # access; lat0_sel[i, s] is that access's unloaded latency.
+        self._Q_sel = tables.Q[self._node_idx]
+        self._lat0_sel = tables.lat0[self._node_idx]
+        self._base = np.array(
+            [machine.access_latency_ns(nd, nd) for nd in self.workers]
+        )
+        self._queue_scale = DEFAULT_LATENCY_MODEL.queue_scale_ns
+        self._max_util = 0.97  # latency._MAX_UTILIZATION
+
+    def __call__(self, weights: np.ndarray) -> float:
+        return float(self.evaluate_many(np.asarray(weights, dtype=float)[None, :])[0])
+
+    def evaluate_many(self, weight_matrix: np.ndarray) -> np.ndarray:
+        """Execution time for each row of a ``(batch, nodes)`` weight matrix."""
+        from repro.memsim.contention import batch_coefficients, solve_batch_arrays
+
+        wm = np.asarray(weight_matrix, dtype=float)
+        if wm.ndim != 2 or wm.shape[1] != self.machine.num_nodes:
+            raise ValueError(
+                f"weight matrix must be (batch, {self.machine.num_nodes}), "
+                f"got {wm.shape}"
+            )
+        wm = wm / wm.sum(axis=1, keepdims=True)
+        num_batch, num_nodes = wm.shape
+        num_workers = len(self.workers)
+
+        node_idx = np.broadcast_to(self._node_idx, (num_batch, num_workers))
+        mix = np.broadcast_to(
+            wm[:, None, :], (num_batch, num_workers, num_nodes)
+        ).copy()
+        demand = np.broadcast_to(self._demand, (num_batch, num_workers))
+        write_frac = np.broadcast_to(self._write_fraction, (num_batch, num_workers))
+
+        # The incidence matrix only depends on the mixes, not on which
+        # workers are still running — build it once for all rounds.
+        coefficients = batch_coefficients(
+            self.machine, node_idx, mix, write_frac, self.mc_model
+        )
+
+        remaining = np.broadcast_to(self._remaining0, (num_batch, num_workers)).copy()
+        now = np.zeros(num_batch)
+        for _ in range(num_workers + 1):
+            act = remaining > 0
+            part = act.any(axis=1)
+            if not part.any():
+                break
+            arrays = solve_batch_arrays(
+                self.machine,
+                node_idx,
+                mix,
+                demand,
+                write_frac,
+                act,
+                self.mc_model,
+                coefficients=coefficients,
+            )
+            achieved = np.maximum(arrays.rates, 1e-12)
+
+            # Loaded latency per (batch, worker): unloaded latency plus the
+            # queueing delay of every resource on each source's path,
+            # mix-averaged. Both contractions run over fixed machine axes
+            # (resources, then sources) with the default non-BLAS einsum
+            # kernel, whose per-output-element accumulation order never
+            # depends on the batch size.
+            util = np.minimum(arrays.util, self._max_util)
+            queue_delay = self._queue_scale * util / (1.0 - util)
+            per_src = self._lat0_sel + np.einsum(
+                "wsr,br->bws", self._Q_sel, queue_delay
+            )
+            latency = np.einsum("bws,bs->bw", per_src, wm)
+
+            bw_part = np.where(achieved >= demand, 1.0, demand / achieved)
+            lat_part = latency / self._base
+            slow = (
+                (1.0 - self._latency_weight) * bw_part
+                + self._latency_weight * lat_part
+            )
+            slow = np.where(demand > 0, slow, 1.0)
+            rates = demand / slow * self._useful * 1e9
+
+            with np.errstate(divide="ignore", invalid="ignore"):
+                ratio = np.where(act, remaining / rates, np.inf)
+            dt = np.where(part, ratio.min(axis=1), 0.0)
+            remaining = np.where(
+                act, np.maximum(0.0, remaining - rates * dt[:, None]), remaining
+            )
+            now += dt
+        return now
 
 
 def analytic_execution_time(
@@ -128,64 +340,15 @@ def analytic_execution_time(
 ) -> float:
     """Execution time under an exact weighted placement, without page tables.
 
-    Under the kernel-exact weighted interleave every segment — shared and
-    private alike — follows the weight distribution, so each worker's
-    traffic mix *is* the weight vector. That removes the address-space
-    machinery from the inner loop, making this evaluator ~50x faster than a
-    full simulation; tests verify it agrees with the simulator.
+    One-shot convenience wrapper over :class:`BatchedAnalyticEvaluator`
+    (~50x faster than a full simulation; tests verify it agrees with the
+    simulator). When scoring many weight vectors against one deployment,
+    build the evaluator once and use ``evaluate_many``.
     """
-    from repro.engine.threads import pin_threads, threads_per_node
-    from repro.memsim.contention import solve
-    from repro.memsim.flows import Consumer
-    from repro.perf.latency import DEFAULT_LATENCY_MODEL
-    from repro.perf.stalls import WorkerLoad, slowdown
-
-    w = np.asarray(weights, dtype=float)
-    w = w / w.sum()
-    workers = tuple(worker_nodes)
-    thread_nodes = pin_threads(machine, workers, num_threads)
-    counts = threads_per_node(thread_nodes)
-    total_threads = len(thread_nodes)
-
-    remaining = {
-        nd: workload.work_bytes * counts[nd] / total_threads for nd in workers
-    }
-    now = 0.0
-    for _ in range(len(workers) + 1):
-        active = [nd for nd in workers if remaining[nd] > 0]
-        if not active:
-            break
-        consumers = [
-            Consumer(
-                app_id="analytic",
-                node=nd,
-                threads=counts[nd],
-                mix=w,
-                demand=workload.node_demand_gbps(counts[nd], total_threads, len(workers)),
-                write_fraction=workload.write_fraction,
-            )
-            for nd in active
-        ]
-        alloc = solve(machine, consumers, mc_model)
-        rates = {}
-        for c in consumers:
-            achieved = alloc.rate("analytic", c.node)
-            lat = DEFAULT_LATENCY_MODEL.consumer_latency_ns(machine, c, alloc)
-            base = DEFAULT_LATENCY_MODEL.local_baseline_ns(machine, c.node)
-            load = WorkerLoad(
-                demand_gbps=c.demand,
-                achieved_gbps=max(achieved, 1e-12),
-                avg_latency_ns=lat,
-                base_latency_ns=base,
-                latency_weight=workload.latency_weight,
-            )
-            useful = workload.node_efficiency(len(workers))
-            rates[c.node] = c.demand / slowdown(load) * useful * 1e9
-        dt = min(remaining[nd] / rates[nd] for nd in active)
-        for nd in active:
-            remaining[nd] = max(0.0, remaining[nd] - rates[nd] * dt)
-        now += dt
-    return now
+    evaluator = BatchedAnalyticEvaluator(
+        machine, workload, worker_nodes, mc_model=mc_model, num_threads=num_threads
+    )
+    return evaluator(weights)
 
 
 def make_analytic_evaluator(
@@ -195,17 +358,12 @@ def make_analytic_evaluator(
     *,
     mc_model: MCModel = DEFAULT_MC_MODEL,
     num_threads: Optional[int] = None,
-) -> Callable[[np.ndarray], float]:
-    """Fast objective built on :func:`analytic_execution_time`."""
-    workers = tuple(worker_nodes)
-
-    def evaluate(weights: np.ndarray) -> float:
-        return analytic_execution_time(
-            machine, workload, workers, weights,
-            mc_model=mc_model, num_threads=num_threads,
-        )
-
-    return evaluate
+) -> BatchedAnalyticEvaluator:
+    """Fast batched objective for one deployment (callable +
+    ``evaluate_many``)."""
+    return BatchedAnalyticEvaluator(
+        machine, workload, worker_nodes, mc_model=mc_model, num_threads=num_threads
+    )
 
 
 def make_placement_evaluator(
@@ -250,11 +408,12 @@ def search_optimal_placement(
     """End-to-end oracle: hill-climb weights for one deployment.
 
     Starts from uniform-workers exactly as the paper's offline search does.
-    ``evaluator`` selects the objective: ``"analytic"`` (fast, exact
-    weighted placement) or ``"simulated"`` (full page-table simulation).
+    ``evaluator`` selects the objective: ``"analytic"`` (fast, batched
+    exact-weighted placement) or ``"simulated"`` (full page-table
+    simulation).
     """
     if evaluator == "analytic":
-        evaluate = make_analytic_evaluator(
+        evaluate: Callable[[np.ndarray], float] = make_analytic_evaluator(
             machine, workload, worker_nodes, mc_model=mc_model, num_threads=num_threads
         )
     elif evaluator == "simulated":

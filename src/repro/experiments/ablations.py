@@ -7,6 +7,9 @@
   performance (paper: kernel gains at most 3%).
 * **DWP tuner overhead** — BWAP's on-line search vs an oracle run that
   starts directly at the DWP BWAP eventually finds (paper: at most 4%).
+* **Analytic DWP probe** — the full DWP ladder scored offline in one
+  batched contention solve per scenario, showing where the analytic model
+  says the online climb should settle and what it is worth.
 """
 
 from __future__ import annotations
@@ -17,6 +20,7 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from repro.core import BWAPConfig, CanonicalTuner, combine_weights
+from repro.core.dwp import dwp_probe_curve
 from repro.core.interleave import (
     apply_weighted_kernel,
     apply_weighted_user,
@@ -189,3 +193,78 @@ def run_overhead(
                 0.0, online.exec_time_s / oracle.exec_time_s - 1.0
             )
     return OverheadResult(overhead=overhead)
+
+
+@dataclass
+class DWPProbeAblation:
+    """Offline DWP curves from the batched analytic evaluator."""
+
+    #: probed DWP ladder (shared by all scenarios)
+    dwp_values: Tuple[float, ...]
+    #: (machine, workers) -> benchmark -> analytic time at each DWP
+    curves: Dict[Tuple[str, int], Dict[str, np.ndarray]]
+
+    def best_dwp(self) -> Dict[Tuple[str, int], Dict[str, float]]:
+        """The analytically optimal DWP per scenario/benchmark."""
+        return {
+            key: {
+                bench: self.dwp_values[int(np.argmin(times))]
+                for bench, times in by_bench.items()
+            }
+            for key, by_bench in self.curves.items()
+        }
+
+    def max_gain(self) -> float:
+        """Largest predicted speedup of the best DWP over DWP = 0."""
+        return max(
+            float(times[0] / times.min())
+            for by_bench in self.curves.values()
+            for times in by_bench.values()
+        )
+
+    def render(self) -> str:
+        best = self.best_dwp()
+        rows = []
+        for (m, n), by_bench in sorted(self.curves.items()):
+            for bench, times in by_bench.items():
+                rows.append(
+                    [
+                        f"{m}:{n}W",
+                        bench,
+                        f"{best[(m, n)][bench]:.1f}",
+                        float(times[0] / times.min()),
+                    ]
+                )
+        return format_table(
+            ["scenario", "bench", "best DWP", "gain vs DWP=0"],
+            rows,
+            title="Analytic DWP probe (batched evaluator, canonical weights)",
+        )
+
+
+def run_dwp_probe_ablation(
+    *,
+    scenarios: Sequence[Tuple[str, int]] = (("A", 1), ("A", 2), ("B", 1)),
+    benchmarks=None,
+    dwp_values: Sequence[float] = tuple(i / 10 for i in range(11)),
+) -> DWPProbeAblation:
+    """Score the full DWP ladder offline for each scenario/benchmark.
+
+    Unlike :func:`run_overhead`, no simulation runs at all: every curve is
+    one call to :func:`repro.core.dwp.dwp_probe_curve`, which batches the
+    whole ladder through a single vectorised contention solve per filling
+    round.
+    """
+    workloads = benchmarks if benchmarks is not None else paper_benchmarks()
+    ladder = tuple(float(d) for d in dwp_values)
+    curves: Dict[Tuple[str, int], Dict[str, np.ndarray]] = {}
+    for mname, n in scenarios:
+        machine = get_machine(mname)
+        canonical = get_canonical(machine)
+        workers = tuple(sorted(machine.worker_sets_of_size(n)[0]))
+        weights = canonical.weights(workers)
+        curves[(mname, n)] = {
+            wl.name: dwp_probe_curve(machine, wl, workers, weights, ladder)
+            for wl in workloads
+        }
+    return DWPProbeAblation(dwp_values=ladder, curves=curves)

@@ -77,9 +77,19 @@ def _extensions() -> str:
 
 
 def _sensitivity() -> str:
-    from repro.experiments.sensitivity import run_asymmetry_sweep, run_worker_sweep
+    from repro.experiments.sensitivity import (
+        run_asymmetry_sweep,
+        run_oracle_asymmetry_sweep,
+        run_worker_sweep,
+    )
 
-    return run_asymmetry_sweep().render() + "\n\n" + run_worker_sweep().render()
+    return "\n\n".join(
+        [
+            run_asymmetry_sweep().render(),
+            run_oracle_asymmetry_sweep().render(),
+            run_worker_sweep().render(),
+        ]
+    )
 
 
 def _robustness() -> str:
@@ -99,6 +109,7 @@ def _machines() -> str:
 def _ablations() -> str:
     from repro.experiments.ablations import (
         run_canonical_ablation,
+        run_dwp_probe_ablation,
         run_interleave_ablation,
         run_overhead,
     )
@@ -107,6 +118,7 @@ def _ablations() -> str:
         run_canonical_ablation().render(),
         run_interleave_ablation().render(),
         run_overhead().render(),
+        run_dwp_probe_ablation().render(),
     ]
     return "\n\n".join(parts)
 

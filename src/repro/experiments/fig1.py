@@ -85,7 +85,13 @@ def run_fig1b(
     search_iterations: int = 60,
     benchmarks=None,
 ) -> Fig1bResult:
-    """Fig. 1b: baselines vs the offline N-dimensional search."""
+    """Fig. 1b: baselines vs the offline N-dimensional search.
+
+    The oracle leg runs through the batched hill climb: each iteration's
+    whole neighbour set is scored as one weight matrix by the batched
+    analytic evaluator, so the search cost is a small fraction of the
+    simulated baseline runs.
+    """
     machine = get_machine("A")
     workloads = benchmarks if benchmarks is not None else paper_benchmarks()
     workers = pick_worker_nodes(machine, num_workers)

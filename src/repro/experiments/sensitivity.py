@@ -129,6 +129,75 @@ def run_asymmetry_sweep(
 
 
 @dataclass
+class OracleAsymmetrySweepResult:
+    """Analytic oracle gain as a function of machine asymmetry.
+
+    The all-analytic companion of :class:`AsymmetrySweepResult`: instead of
+    simulating BWAP's online climb, the batched hill-climbing oracle finds
+    the best weight vector outright and the uniform baselines are scored
+    through the same batched evaluator — so the whole sweep runs in
+    milliseconds and isolates what the *placement itself* is worth,
+    independent of tuner dynamics.
+    """
+
+    #: amplitude -> (oracle time, uniform-all time, uniform-workers time)
+    times: Dict[float, Tuple[float, float, float]]
+    #: amplitude -> oracle weight vector
+    weights: Dict[float, np.ndarray]
+
+    def gains_vs_uniform_all(self) -> Dict[float, float]:
+        """Oracle speedup over uniform interleaving per amplitude."""
+        return {a: ua / o for a, (o, ua, _uw) in self.times.items()}
+
+    def render(self) -> str:
+        rows = [
+            [f"{a:.1f}x", o, ua, uw, ua / o]
+            for a, (o, ua, uw) in sorted(self.times.items())
+        ]
+        return format_table(
+            ["asymmetry", "oracle (s)", "uniform-all (s)", "uniform-workers (s)",
+             "oracle gain"],
+            rows,
+            title=(
+                "Oracle placement gain vs machine asymmetry "
+                "(batched analytic search, synthetic 4-node machines, 1 worker)"
+            ),
+        )
+
+
+def run_oracle_asymmetry_sweep(
+    amplitudes: Sequence[float] = (2.0, 3.0, 4.0, 6.0, 8.0),
+    *,
+    search_iterations: int = 60,
+) -> OracleAsymmetrySweepResult:
+    """Hill-climb the oracle weights on each synthetic machine."""
+    from repro.core.search import (
+        make_analytic_evaluator,
+        search_optimal_placement,
+        uniform_workers_start,
+    )
+
+    wl = probe_workload()
+    times: Dict[float, Tuple[float, float, float]] = {}
+    weights: Dict[float, np.ndarray] = {}
+    for a in amplitudes:
+        machine = asymmetric_machine(a)
+        workers = pick_worker_nodes(machine, 1)
+        search = search_optimal_placement(
+            machine, wl, workers, max_iterations=search_iterations
+        )
+        evaluator = make_analytic_evaluator(machine, wl, workers)
+        n = machine.num_nodes
+        baselines = np.stack(
+            [np.full(n, 1.0 / n), uniform_workers_start(n, workers)]
+        )
+        t_uniform_all, t_uniform_workers = evaluator.evaluate_many(baselines)
+        times[a] = (search.objective, float(t_uniform_all), float(t_uniform_workers))
+        weights[a] = search.weights
+    return OracleAsymmetrySweepResult(times=times, weights=weights)
+
+
+@dataclass
 class WorkerSweepResult:
     """BWAP gain as a function of worker-set size (fixed machine)."""
 

@@ -22,6 +22,7 @@ from repro.memsim.contention import (
     isolated_bandwidth_matrix,
     proportional_profile,
     solve,
+    solve_batch,
 )
 from repro.memsim.policies import (
     AutoNUMA,
@@ -65,6 +66,7 @@ __all__ = [
     "isolated_bandwidth_matrix",
     "proportional_profile",
     "solve",
+    "solve_batch",
     "AutoNUMA",
     "FirstTouch",
     "PlacementContext",

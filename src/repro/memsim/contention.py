@@ -19,13 +19,20 @@ Two allocation disciplines are provided:
   capability, and when a shared resource saturates all of its flows scale
   down proportionally. This preserves the relative asymmetry between pairs,
   which is the signal the canonical tuner needs.
+
+The progressive-filling solver is array-native: every solve runs over a
+dense ``(batch, resources, consumers)`` tensor with a *canonical* resource
+axis fixed per machine (see :class:`MachineTables`), so :func:`solve_batch`
+can evaluate many candidate consumer sets in one vectorised pass. The
+scalar :func:`solve` is the batch of one, which makes the scalar and
+batched paths bitwise-identical by construction.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -63,18 +70,40 @@ class Allocation:
     utilization: Dict[ResourceKey, float]
     bottleneck: Dict[Tuple[str, int], Optional[ResourceKey]]
     capacities: Dict[ResourceKey, float]
+    #: Lazily-built per-app grouping of ``rates`` (and its totals); the
+    #: simulator's telemetry loop asks for every app every epoch, which
+    #: would otherwise rescan the machine-wide dict once per app.
+    _app_groups: Optional[Dict[str, Dict[int, float]]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _app_totals: Optional[Dict[str, float]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def rate(self, app_id: str, node: int) -> float:
         """Achieved rate of one consumer."""
         return self.rates[(app_id, node)]
 
+    def _grouped(self) -> Dict[str, Dict[int, float]]:
+        if self._app_groups is None:
+            groups: Dict[str, Dict[int, float]] = {}
+            for (aid, node), r in self.rates.items():
+                groups.setdefault(aid, {})[node] = r
+            self._app_groups = groups
+            self._app_totals = {
+                aid: sum(by_node.values()) for aid, by_node in groups.items()
+            }
+        return self._app_groups
+
     def app_rates(self, app_id: str) -> Dict[int, float]:
         """Per-worker-node rates of one application."""
-        return {node: r for (aid, node), r in self.rates.items() if aid == app_id}
+        return dict(self._grouped().get(app_id, {}))
 
     def app_total_rate(self, app_id: str) -> float:
         """Aggregate achieved rate of one application across its workers."""
-        return sum(self.app_rates(app_id).values())
+        self._grouped()
+        assert self._app_totals is not None
+        return self._app_totals.get(app_id, 0.0)
 
     def resource_utilization(self, key: ResourceKey) -> float:
         """Utilization of one resource (0 when unused)."""
@@ -208,66 +237,463 @@ def _pair_link_table(
     return cache
 
 
-def _consumer_resource_coefficients(
-    machine: Machine, consumer: Consumer, write_scale: float
-) -> Dict[ResourceKey, float]:
-    """Per-resource capacity consumed per unit of consumer rate.
+class MachineTables:
+    """Canonical array-native view of one machine's contended resources.
 
-    A consumer running at rate ``R`` pulls ``R * mix[i]`` from each source
-    node ``i``. That traffic costs:
+    The batched solver works on dense ``(batch, resources, consumers)``
+    arrays. For scalar/batch bitwise equivalence the resource axis must be
+    identical for *every* solve on a machine — resources a particular
+    consumer set never touches keep an infinite capacity and a cleared
+    ``touched`` flag instead of being dropped from the axis. Rows are
+    sorted by resource key, which makes per-row scans (bottleneck
+    attribution, the tightest-resource fallback) visit resources in the
+    same order the dict-era solver did.
 
-    * ``mix[i] * write_scale`` at the source memory controller (writes are
-      dearer there);
-    * ``mix[i] / hop_eff^(hops-1)`` on every link of the route (multi-hop
-      forwarding overhead consumes extra link capacity);
-    * ``mix[i]`` of the consumer node's remote-ingress port when the source
-      is remote.
+    Attributes
+    ----------
+    res_keys / res_index:
+        The sorted canonical resource axis and its inverse mapping.
+    mc_rows / ingress_rows:
+        Row index of each node's memory controller / ingress port
+        (``ingress_rows[w] == -1`` when ingress limiting is disabled).
+    static_caps:
+        Per-row capacities that do not depend on the consumer set (links
+        and ingress ports; MC rows are de-rated per solve).
+    G_rest:
+        ``(nodes, resources, nodes)`` per-unit-rate coefficients of a
+        consumer resident on node ``w`` pulling from source ``s`` —
+        everything except the MC share: route links (with multi-hop
+        overhead folded in) and the ingress indicator.
+    link_touch:
+        Boolean version of the link part of ``G_rest`` (ingress excluded:
+        an ingress port counts as touched whenever a live consumer resides
+        on the node, independent of its mix, matching the dict-era
+        capacity table).
+    Q / lat0:
+        Latency incidence used by the batched analytic evaluator:
+        ``Q[w, s, r]`` counts how often resource ``r``'s queueing delay is
+        added to a ``s -> w`` access, and ``lat0[w, s]`` is the unloaded
+        latency of that access.
     """
-    coeffs: Dict[ResourceKey, float] = {}
-    w = consumer.node
-    pair_links = _pair_link_table(machine)
-    for src, frac in enumerate(consumer.mix):
-        if frac <= 0:
-            continue
-        key_mc = ("mc", src)
-        coeffs[key_mc] = coeffs.get(key_mc, 0.0) + frac * write_scale
-        if src == w:
-            continue
-        for key_l, overhead, _cap in pair_links[(src, w)]:
-            coeffs[key_l] = coeffs.get(key_l, 0.0) + frac * overhead
-        key_in = ("ingress", w)
-        coeffs[key_in] = coeffs.get(key_in, 0.0) + frac
-    return coeffs
+
+    __slots__ = (
+        "res_keys",
+        "res_index",
+        "num_nodes",
+        "num_res",
+        "mc_rows",
+        "ingress_rows",
+        "static_caps",
+        "G_rest",
+        "link_touch",
+        "Q",
+        "lat0",
+        "local_bw",
+        "_eff_tables",
+    )
+
+    def __init__(self, machine: Machine):
+        num_nodes = machine.num_nodes
+        has_ingress = [
+            bool(np.isfinite(machine.ingress_capacity(w))) for w in range(num_nodes)
+        ]
+        keys: List[ResourceKey] = [("mc", s) for s in range(num_nodes)]
+        keys.extend(("link", link.src, link.dst) for link in machine.links)
+        keys.extend(("ingress", w) for w in range(num_nodes) if has_ingress[w])
+        self.res_keys: List[ResourceKey] = sorted(keys)
+        self.res_index: Dict[ResourceKey, int] = {
+            k: i for i, k in enumerate(self.res_keys)
+        }
+        self.num_nodes = num_nodes
+        self.num_res = len(self.res_keys)
+
+        self.mc_rows = np.array(
+            [self.res_index[("mc", s)] for s in range(num_nodes)], dtype=np.intp
+        )
+        self.ingress_rows = np.array(
+            [
+                self.res_index[("ingress", w)] if has_ingress[w] else -1
+                for w in range(num_nodes)
+            ],
+            dtype=np.intp,
+        )
+
+        caps = np.zeros(self.num_res)
+        for link in machine.links:
+            caps[self.res_index[("link", link.src, link.dst)]] = link.capacity
+        for w in range(num_nodes):
+            if has_ingress[w]:
+                caps[self.ingress_rows[w]] = machine.ingress_capacity(w)
+        self.static_caps = caps
+
+        pair_links = _pair_link_table(machine)
+        G = np.zeros((num_nodes, self.num_res, num_nodes))
+        Q = np.zeros((num_nodes, num_nodes, self.num_res))
+        for w in range(num_nodes):
+            for s in range(num_nodes):
+                Q[w, s, self.mc_rows[s]] += 1.0
+                if s == w:
+                    continue
+                for key_l, overhead, _cap in pair_links[(s, w)]:
+                    ri = self.res_index[key_l]
+                    G[w, ri, s] += overhead
+                    Q[w, s, ri] += 1.0
+                if has_ingress[w]:
+                    G[w, self.ingress_rows[w], s] += 1.0
+                    Q[w, s, self.ingress_rows[w]] += 1.0
+        self.G_rest = G
+        link_touch = G > 0.0
+        for w in range(num_nodes):
+            if has_ingress[w]:
+                link_touch[w, self.ingress_rows[w], :] = False
+        self.link_touch = link_touch
+
+        self.Q = Q
+        self.lat0 = np.array(
+            [
+                [machine.access_latency_ns(s, w) for s in range(num_nodes)]
+                for w in range(num_nodes)
+            ]
+        )
+        self.local_bw = np.array(
+            [machine.node(s).local_bandwidth for s in range(num_nodes)]
+        )
+        self._eff_tables: Dict[Tuple[float, float, float], np.ndarray] = {}
+
+    def eff_table(self, mc_model: MCModel) -> np.ndarray:
+        """``(nodes, nodes + 1)`` de-rated MC capacity by reader count."""
+        key = (
+            mc_model.efficiency_floor,
+            mc_model.contention_decay,
+            mc_model.write_cost_factor,
+        )
+        table = self._eff_tables.get(key)
+        if table is None:
+            n = self.num_nodes
+            table = np.empty((n, n + 1))
+            for s in range(n):
+                for k in range(n + 1):
+                    table[s, k] = mc_model.effective_capacity(
+                        float(self.local_bw[s]), k
+                    )
+            self._eff_tables[key] = table
+        return table
 
 
-def _resource_capacities(
+def machine_tables(machine: Machine) -> MachineTables:
+    """The memoised :class:`MachineTables` of an (immutable) machine."""
+    tables = getattr(machine, "_contention_tables", None)
+    if tables is None:
+        tables = MachineTables(machine)
+        machine._contention_tables = tables  # type: ignore[attr-defined]
+    return tables
+
+
+def _axis_n_dot(A: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """``sum_j A[..., :, j] * x[..., j]`` accumulated sequentially over j.
+
+    Equivalent to ``A @ x[..., None]`` but with a left-to-right accumulation
+    order that is independent of the batch shape and exact under trailing
+    zero padding: the operands are non-negative, so adding a zero term is a
+    bitwise no-op. The scalar/batch equivalence guarantee rests on this —
+    BLAS-style blocked reductions change results with the operand shape.
+    """
+    out = np.zeros(A.shape[:-1])
+    for j in range(A.shape[-1]):
+        out += A[..., j] * x[..., j, None]
+    return out
+
+
+class BatchArrays:
+    """Raw array outputs of one batched progressive-filling solve.
+
+    ``rates``/``bottleneck_row`` are indexed ``(batch, consumer-slot)``;
+    ``load``/``caps``/``util``/``touched`` are ``(batch, resource-row)``
+    over the canonical axis of ``tables.res_keys``. ``bottleneck_row`` is
+    -1 for consumers frozen by their own demand cap (or never frozen).
+    """
+
+    __slots__ = ("tables", "rates", "load", "caps", "util", "touched", "bottleneck_row")
+
+    def __init__(
+        self,
+        tables: MachineTables,
+        rates: np.ndarray,
+        load: np.ndarray,
+        caps: np.ndarray,
+        util: np.ndarray,
+        touched: np.ndarray,
+        bottleneck_row: np.ndarray,
+    ):
+        self.tables = tables
+        self.rates = rates
+        self.load = load
+        self.caps = caps
+        self.util = util
+        self.touched = touched
+        self.bottleneck_row = bottleneck_row
+
+
+def batch_coefficients(
     machine: Machine,
-    consumers: Sequence[Consumer],
-    mc_model: MCModel,
-) -> Dict[ResourceKey, float]:
-    """Effective capacities of every resource any consumer touches."""
-    # MC de-rating depends on how many distinct consumer nodes read a node.
-    readers: Dict[int, set] = {}
-    for c in consumers:
-        for src, frac in enumerate(c.mix):
-            if frac > 0:
-                readers.setdefault(src, set()).add(c.node)
+    node_idx: np.ndarray,
+    mix: np.ndarray,
+    write_fraction: np.ndarray,
+    mc_model: MCModel = DEFAULT_MC_MODEL,
+) -> np.ndarray:
+    """Per-unit-rate incidence matrix ``A[b, r, j]`` of a consumer batch.
 
-    caps: Dict[ResourceKey, float] = {}
-    pair_links = _pair_link_table(machine)
-    for src, nodes in readers.items():
-        peak = machine.node(src).local_bandwidth
-        caps[("mc", src)] = mc_model.effective_capacity(peak, len(nodes))
-    for c in consumers:
-        for src, frac in enumerate(c.mix):
-            if frac <= 0 or src == c.node:
-                continue
-            for key_l, _overhead, capacity in pair_links[(src, c.node)]:
-                caps[key_l] = capacity
-        ingress = machine.ingress_capacity(c.node)
-        if np.isfinite(ingress):
-            caps[("ingress", c.node)] = ingress
-    return caps
+    What one GB/s of consumer slot ``j`` costs at canonical resource row
+    ``r``: the write-amplified MC share plus route-link overheads and the
+    ingress indicator. ``A`` is independent of which slots are live — a
+    dead slot's rate is pinned at zero, so its column never contributes —
+    which lets callers that re-solve the same consumers under a shrinking
+    live mask (the batched analytic evaluator) build it once and pass it to
+    :func:`solve_batch_arrays` via ``coefficients``.
+    """
+    t = machine_tables(machine)
+    num_batch, num_slots, _ = mix.shape
+    write_scale = 1.0 + np.asarray(write_fraction, dtype=float) * (
+        mc_model.write_cost_factor - 1.0
+    )
+    A = np.zeros((num_batch, t.num_res, num_slots))
+    A[:, t.mc_rows, :] = np.swapaxes(mix * write_scale[:, :, None], 1, 2)
+    # When every batch row has the same consumer-node layout (one search
+    # scoring many mixes for one deployment), the per-batch coefficient
+    # gather collapses to a single row — the einsum is elementwise over
+    # the batch either way.
+    if num_batch > 1 and (node_idx == node_idx[0]).all():
+        A += np.einsum("jrk,bjk->brj", t.G_rest[node_idx[0]], mix)
+    else:
+        A += np.einsum("bjrk,bjk->brj", t.G_rest[node_idx], mix)
+    return A
+
+
+def solve_batch_arrays(
+    machine: Machine,
+    node_idx: np.ndarray,
+    mix: np.ndarray,
+    demand: np.ndarray,
+    write_fraction: np.ndarray,
+    live: np.ndarray,
+    mc_model: MCModel = DEFAULT_MC_MODEL,
+    *,
+    coefficients: Optional[np.ndarray] = None,
+) -> BatchArrays:
+    """Vectorised max-min progressive filling over a batch of consumer sets.
+
+    Inputs are dense arrays over ``(batch, consumer-slot)``: ``node_idx``
+    holds each consumer's worker node, ``mix`` its per-source traffic
+    fractions (``(batch, slot, nodes)``), ``demand``/``write_fraction`` per
+    slot, and ``live`` the slot-validity mask — trailing padding and idle
+    consumers are simply dead slots. Batch elements are independent; each
+    element's results are bitwise-identical to solving it alone, because
+    reductions over the consumer axis accumulate sequentially (dead-slot
+    zeros are exact no-ops) and all other contractions run over fixed-size
+    machine axes.
+    """
+    t = machine_tables(machine)
+    mix = np.asarray(mix, dtype=float)
+    if mix.ndim != 3 or mix.shape[2] != t.num_nodes:
+        raise ValueError(
+            f"mix must be (batch, consumers, {t.num_nodes}), got {mix.shape}"
+        )
+    num_batch, num_slots, num_nodes = mix.shape
+    num_res = t.num_res
+    live = np.asarray(live, dtype=bool)
+    node_idx = np.asarray(node_idx, dtype=np.intp)
+    demand = np.asarray(demand, dtype=float)
+    mix = np.where(live[:, :, None], mix, 0.0)
+
+    A = coefficients
+    if A is None:
+        A = batch_coefficients(machine, node_idx, mix, write_fraction, mc_model)
+
+    # Touched resources, replicating the dict-era capacity table exactly:
+    # an MC or link is touched by any *live* consumer with a positive
+    # coefficient on it (write scales and route overheads are >= 1, so
+    # A > 0 is equivalent to a positive mix entry on the row's paths); an
+    # ingress port by any live consumer *resident* on its node,
+    # mix-independent.
+    present = mix > 0.0
+    touched = ((A > 0.0) & live[:, None, :]).any(axis=2)
+    batch_range = np.arange(num_batch)
+    ingress_of_slot = t.ingress_rows[node_idx]
+    valid_ingress = t.ingress_rows[t.ingress_rows >= 0]
+    if valid_ingress.size:
+        touched[:, valid_ingress] = False
+        for j in range(num_slots):
+            ok = live[:, j] & (ingress_of_slot[:, j] >= 0)
+            rows = np.where(ok, ingress_of_slot[:, j], 0)
+            touched[batch_range, rows] |= ok
+
+    # Effective capacities: links/ingress are static; MCs de-rate with the
+    # number of distinct consumer nodes reading them; untouched rows are
+    # unconstrained.
+    node_present = np.zeros((num_batch, num_nodes, num_nodes), dtype=bool)
+    for j in range(num_slots):
+        node_present[batch_range, node_idx[:, j], :] |= present[:, j, :]
+    reader_counts = node_present.sum(axis=1)
+    caps = np.broadcast_to(t.static_caps, (num_batch, num_res)).copy()
+    caps[:, t.mc_rows] = t.eff_table(mc_model)[
+        np.arange(num_nodes)[None, :], reader_counts
+    ]
+    caps = np.where(touched, caps, np.inf)
+    saturation_slack = _EPS * np.maximum(caps, 1.0)
+
+    rates = np.zeros((num_batch, num_slots))
+    active = live.copy()
+    bottleneck_row = np.full((num_batch, num_slots), -1, dtype=np.intp)
+    stopped = np.zeros(num_batch, dtype=bool)
+    uses = A > _EPS
+
+    load = _axis_n_dot(A, rates)
+    for _ in range(num_res + num_slots + 1):
+        alive = active.any(axis=1) & ~stopped
+        if not alive.any():
+            break
+        growth = _axis_n_dot(A, active.astype(float))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            room = np.where(growth > _EPS, (caps - load) / growth, np.inf)
+        room = np.clip(room, 0.0, None)
+        headroom = np.where(active, demand - rates, np.inf)
+        delta = np.minimum(room.min(axis=1), headroom.min(axis=1))
+        if (alive & ~np.isfinite(delta)).any():
+            # Every active consumer is unbounded and touches no finite
+            # resource — cannot happen on a real machine, but guard anyway.
+            raise RuntimeError(
+                "unbounded allocation: consumer touches no finite resource"
+            )
+        grow = active & alive[:, None]
+        rates = np.where(grow, rates + delta[:, None], rates)
+
+        load = _axis_n_dot(A, rates)
+        saturated = ((caps - load) <= saturation_slack) & touched
+        users = uses & saturated[:, :, None] & active[:, None, :]
+        has_user = users.any(axis=1)
+        # First saturated resource (in canonical row order) claims each
+        # consumer's bottleneck attribution, once.
+        first_row = users.argmax(axis=1)
+        take = has_user & (bottleneck_row < 0) & alive[:, None]
+        bottleneck_row = np.where(take, first_row, bottleneck_row)
+
+        newly_frozen = has_user | (active & (rates >= demand - _EPS))
+        newly_frozen &= alive[:, None]
+
+        need_fallback = alive & ~newly_frozen.any(axis=1)
+        if need_fallback.any():
+            # Nothing froze: numerical corner; freeze the tightest
+            # resource's users to guarantee progress, or stop the element
+            # when even that resource has no active users.
+            gaps = np.where(touched, caps - load, np.inf)
+            tight = gaps.argmin(axis=1)
+            tight_users = uses[batch_range, tight, :] & active
+            any_tight = tight_users.any(axis=1)
+            stopped |= need_fallback & ~any_tight
+            freeze = need_fallback & any_tight
+            newly_frozen |= tight_users & freeze[:, None]
+        active &= ~newly_frozen
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        util = np.where(
+            touched & (caps > 0), load / np.where(caps > 0, caps, 1.0), 0.0
+        )
+    return BatchArrays(t, rates, load, caps, util, touched, bottleneck_row)
+
+
+def _empty_allocation(consumers: Sequence[Consumer]) -> Allocation:
+    rates = {c.key(): 0.0 for c in consumers}
+    bottleneck: Dict[Tuple[str, int], Optional[ResourceKey]] = {
+        c.key(): None for c in consumers
+    }
+    return Allocation(
+        rates=rates, utilization={}, bottleneck=bottleneck, capacities={}
+    )
+
+
+def _allocation_from_batch(
+    consumers: Sequence[Consumer],
+    live: Sequence[Consumer],
+    arrays: BatchArrays,
+    b: int,
+) -> Allocation:
+    rates: Dict[Tuple[str, int], float] = {c.key(): 0.0 for c in consumers}
+    bottleneck: Dict[Tuple[str, int], Optional[ResourceKey]] = {
+        c.key(): None for c in consumers
+    }
+    res_keys = arrays.tables.res_keys
+    for j, c in enumerate(live):
+        rates[c.key()] = float(arrays.rates[b, j])
+        row = int(arrays.bottleneck_row[b, j])
+        if row >= 0:
+            bottleneck[c.key()] = res_keys[row]
+    touched_rows = np.nonzero(arrays.touched[b])[0]
+    utilization = {res_keys[i]: float(arrays.util[b, i]) for i in touched_rows}
+    capacities = {res_keys[i]: float(arrays.caps[b, i]) for i in touched_rows}
+    return Allocation(
+        rates=rates,
+        utilization=utilization,
+        bottleneck=bottleneck,
+        capacities=capacities,
+    )
+
+
+def solve_batch(
+    machine: Machine,
+    consumer_batches: Iterable[Sequence[Consumer]],
+    mc_model: MCModel = DEFAULT_MC_MODEL,
+) -> List[Allocation]:
+    """Solve many independent consumer sets in one vectorised pass.
+
+    Returns one :class:`Allocation` per input set, each bitwise-identical
+    to what :func:`solve` produces for that set alone — :func:`solve` *is*
+    the batch of one. Use this to score candidate placements (the oracle
+    search's neighbour sets, DWP probe curves, sweep grids) without paying
+    per-candidate solver setup.
+    """
+    batches = [list(cs) for cs in consumer_batches]
+    if not batches:
+        return []
+    num_nodes = machine.num_nodes
+    lives: List[List[Consumer]] = []
+    for cs in batches:
+        lv = [c for c in cs if not c.is_idle]
+        keys = [c.key() for c in lv]
+        if len(set(keys)) != len(keys):
+            raise ValueError(f"duplicate consumer keys: {sorted(keys)}")
+        for c in lv:
+            if not 0 <= c.node < num_nodes:
+                raise ValueError(f"consumer node {c.node} outside machine")
+            if len(c.mix) > num_nodes:
+                raise ValueError(
+                    f"mix has {len(c.mix)} entries for a {num_nodes}-node machine"
+                )
+        lives.append(lv)
+    max_live = max(len(lv) for lv in lives)
+    if max_live == 0:
+        return [_empty_allocation(cs) for cs in batches]
+
+    num_batch = len(batches)
+    node_idx = np.zeros((num_batch, max_live), dtype=np.intp)
+    mix = np.zeros((num_batch, max_live, num_nodes))
+    demand = np.zeros((num_batch, max_live))
+    write_frac = np.zeros((num_batch, max_live))
+    live_mask = np.zeros((num_batch, max_live), dtype=bool)
+    for b, lv in enumerate(lives):
+        for j, c in enumerate(lv):
+            node_idx[b, j] = c.node
+            m = np.asarray(c.mix, dtype=float)
+            mix[b, j, : len(m)] = m
+            demand[b, j] = c.demand
+            write_frac[b, j] = c.write_fraction
+            live_mask[b, j] = True
+    arrays = solve_batch_arrays(
+        machine, node_idx, mix, demand, write_frac, live_mask, mc_model
+    )
+    return [
+        _allocation_from_batch(batches[b], lives[b], arrays, b)
+        for b in range(num_batch)
+    ]
 
 
 def solve(
@@ -282,91 +708,7 @@ def solve(
     consumer reaches its demand cap it freezes satisfied. Terminates after
     at most ``len(resources) + len(consumers)`` rounds.
     """
-    live = [c for c in consumers if not c.is_idle]
-    rates: Dict[Tuple[str, int], float] = {c.key(): 0.0 for c in consumers}
-    bottleneck: Dict[Tuple[str, int], Optional[ResourceKey]] = {
-        c.key(): None for c in consumers
-    }
-    if not live:
-        return Allocation(rates=rates, utilization={}, bottleneck=bottleneck, capacities={})
-
-    keys = [c.key() for c in live]
-    if len(set(keys)) != len(keys):
-        raise ValueError(f"duplicate consumer keys: {sorted(keys)}")
-
-    write_scales = [
-        1.0 + c.write_fraction * (mc_model.write_cost_factor - 1.0) for c in live
-    ]
-    coeffs = [
-        _consumer_resource_coefficients(machine, c, ws)
-        for c, ws in zip(live, write_scales)
-    ]
-    caps = _resource_capacities(machine, live, mc_model)
-
-    n = len(live)
-    r = np.zeros(n)
-    demand = np.array([c.demand for c in live])
-    active = np.ones(n, dtype=bool)
-
-    # Dense per-resource coefficient matrix for vectorised load computation.
-    res_keys: List[ResourceKey] = sorted(caps.keys())
-    res_index = {k: i for i, k in enumerate(res_keys)}
-    A = np.zeros((len(res_keys), n))
-    for j, cf in enumerate(coeffs):
-        for k, v in cf.items():
-            A[res_index[k], j] = v
-    cap_vec = np.array([caps[k] for k in res_keys])
-
-    for _ in range(len(res_keys) + n + 1):
-        if not active.any():
-            break
-        load = A @ r
-        growth = A @ active.astype(float)
-        with np.errstate(divide="ignore", invalid="ignore"):
-            room = np.where(growth > _EPS, (cap_vec - load) / growth, np.inf)
-        room = np.clip(room, 0.0, None)
-        cap_headroom = np.where(active, demand - r, np.inf)
-        delta = min(room.min(initial=np.inf), cap_headroom.min(initial=np.inf))
-        if not np.isfinite(delta):
-            # Every active consumer is unbounded and touches no finite
-            # resource — cannot happen on a real machine, but guard anyway.
-            raise RuntimeError("unbounded allocation: consumer touches no finite resource")
-        r[active] += delta
-
-        load = A @ r
-        saturated = (cap_vec - load) <= _EPS * np.maximum(cap_vec, 1.0)
-        newly_frozen = np.zeros(n, dtype=bool)
-        for ri in np.nonzero(saturated)[0]:
-            users = (A[ri] > _EPS) & active
-            for j in np.nonzero(users)[0]:
-                if bottleneck[live[j].key()] is None:
-                    bottleneck[live[j].key()] = res_keys[ri]
-            newly_frozen |= users
-        satisfied = active & (r >= demand - _EPS)
-        newly_frozen |= satisfied
-        if not newly_frozen.any():
-            # Nothing froze: numerical corner; freeze the tightest resource's
-            # users to guarantee progress.
-            tight = int(np.argmin(cap_vec - load))
-            users = (A[tight] > _EPS) & active
-            if not users.any():
-                break
-            newly_frozen |= users
-        active &= ~newly_frozen
-
-    for c, rate in zip(live, r):
-        rates[c.key()] = float(rate)
-    load = A @ r
-    utilization = {
-        k: float(load[i] / cap_vec[i]) if cap_vec[i] > 0 else 0.0
-        for k, i in res_index.items()
-    }
-    return Allocation(
-        rates=rates,
-        utilization=utilization,
-        bottleneck=bottleneck,
-        capacities={k: float(cap_vec[res_index[k]]) for k in res_keys},
-    )
+    return solve_batch(machine, [consumers], mc_model)[0]
 
 
 def proportional_profile(

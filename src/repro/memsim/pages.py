@@ -117,6 +117,7 @@ class AddressSpace:
         self.num_nodes = num_nodes
         self.page_size = page_size
         self._segments: List[Segment] = []
+        self._segments_by_name: Dict[str, Segment] = {}
         self._page_nodes = np.empty(0, dtype=np.int16)
         self._next_page = 0
         #: Monotonic placement version: bumped by every mutation that backs,
@@ -141,7 +142,11 @@ class AddressSpace:
         """Reserve a new virtual segment of at least ``size_bytes`` bytes.
 
         No physical pages are allocated; pages start ``UNALLOCATED``.
+        Segment names are unique within an address space so that
+        :meth:`segment` lookups are unambiguous.
         """
+        if name in self._segments_by_name:
+            raise ValueError(f"segment named {name!r} already mapped")
         num_pages = bytes_to_pages(size_bytes, self.page_size)
         seg = Segment(
             name=name,
@@ -152,6 +157,7 @@ class AddressSpace:
             page_size=self.page_size,
         )
         self._segments.append(seg)
+        self._segments_by_name[name] = seg
         self._next_page += num_pages
         grown = np.full(num_pages, UNALLOCATED, dtype=np.int16)
         self._page_nodes = np.concatenate([self._page_nodes, grown])
@@ -169,11 +175,11 @@ class AddressSpace:
         return self._next_page
 
     def segment(self, name: str) -> Segment:
-        """Look up a segment by name."""
-        for seg in self._segments:
-            if seg.name == name:
-                return seg
-        raise KeyError(f"no segment named {name!r}")
+        """Look up a segment by name (names are unique per space)."""
+        try:
+            return self._segments_by_name[name]
+        except KeyError:
+            raise KeyError(f"no segment named {name!r}") from None
 
     def segments_of_kind(self, kind: SegmentKind) -> Tuple[Segment, ...]:
         """All segments of the given kind."""

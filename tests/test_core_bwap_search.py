@@ -188,3 +188,55 @@ class TestAnalyticEvaluator:
             search_optimal_placement(
                 mach_a, streamcluster(), (0,), evaluator="bogus"
             )
+
+
+class TestBatchedSearch:
+    def test_batched_and_scalar_search_identical(self, mach_a):
+        # The batched neighbour scoring must replay the per-candidate climb
+        # exactly: same weights (bitwise), objective, and evaluation count.
+        workload = streamcluster()
+        workers = pick_worker_nodes(mach_a, 2)
+        batched = search_optimal_placement(
+            mach_a, workload, workers, max_iterations=12
+        )
+
+        def scalar_eval(w):
+            return analytic_execution_time(mach_a, workload, workers, w)
+
+        scalar = hill_climb(
+            scalar_eval, uniform_workers_start(8, workers), max_iterations=12
+        )
+        assert np.array_equal(batched.weights, scalar.weights)
+        assert batched.objective == scalar.objective
+        assert batched.evaluations == scalar.evaluations
+        assert batched.iterations == scalar.iterations
+
+    def test_evaluate_many_matches_call(self, mach_a):
+        from repro.core.search import make_analytic_evaluator
+
+        ev = make_analytic_evaluator(mach_a, streamcluster(), (0, 1))
+        rng = np.random.RandomState(3)
+        wm = rng.dirichlet(np.ones(8), size=12)
+        batched = ev.evaluate_many(wm)
+        assert np.array_equal(batched, np.array([ev(w) for w in wm]))
+
+    def test_evaluate_many_rejects_bad_shape(self, mach_a):
+        from repro.core.search import make_analytic_evaluator
+
+        ev = make_analytic_evaluator(mach_a, streamcluster(), (0, 1))
+        with pytest.raises(ValueError):
+            ev.evaluate_many(np.ones(8))
+        with pytest.raises(ValueError):
+            ev.evaluate_many(np.ones((2, 5)))
+
+    def test_top_distributions_distinct(self, mach_a):
+        # Satellite of the batched search: post-clamp renormalisation can
+        # recreate a vector already on the top list; the near-optimum
+        # averaging slots must hold distinct distributions.
+        res = search_optimal_placement(
+            mach_a, streamcluster(), (0, 1), max_iterations=40
+        )
+        keys = [tuple(np.round(wt, 6)) for wt, _ in res.top]
+        assert len(keys) == len(set(keys))
+        values = [v for _, v in res.top]
+        assert values == sorted(values)

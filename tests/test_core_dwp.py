@@ -228,3 +228,38 @@ class TestCoScheduledTuner:
         with pytest.raises(ValueError):
             CoScheduledDWPTuner(app, canonical_b.weights((0,)), "A",
                                 min_abs_improvement=-1.0)
+
+
+class TestDWPProbeCurve:
+    def test_matches_pointwise_analytic(self, mach_a, canonical_a):
+        from repro.core.dwp import dwp_probe_curve
+        from repro.core.search import analytic_execution_time
+
+        workers = (0, 1)
+        canonical = canonical_a.weights(workers)
+        workload = fast_workload()
+        dwps = (0.0, 0.2, 0.5, 1.0)
+        curve = dwp_probe_curve(mach_a, workload, workers, canonical, dwps)
+        assert curve.shape == (len(dwps),)
+        # The batched ladder is the scalar evaluation of each rung, bitwise.
+        for d, t in zip(dwps, curve):
+            w = combine_weights(canonical, workers, d)
+            assert t == analytic_execution_time(mach_a, workload, workers, w)
+
+    def test_curve_is_positive_and_finite(self, mach_b, canonical_b):
+        from repro.core.dwp import dwp_probe_curve
+
+        workers = (0,)
+        curve = dwp_probe_curve(
+            mach_b, fast_workload(), workers,
+            canonical_b.weights(workers), tuple(i / 10 for i in range(11)),
+        )
+        assert (curve > 0).all() and np.isfinite(curve).all()
+
+    def test_rejects_empty_ladder(self, mach_b, canonical_b):
+        from repro.core.dwp import dwp_probe_curve
+
+        with pytest.raises(ValueError):
+            dwp_probe_curve(
+                mach_b, fast_workload(), (0,), canonical_b.weights((0,)), ()
+            )

@@ -160,3 +160,21 @@ class TestCli:
 
         with pytest.raises(SystemExit):
             main(["bogus"])
+
+
+class TestDWPProbeAblation:
+    def test_reduced_scenario(self):
+        from repro.experiments.ablations import run_dwp_probe_ablation
+        from repro.workloads import streamcluster
+
+        r = run_dwp_probe_ablation(
+            scenarios=(("B", 1),),
+            benchmarks=[streamcluster()],
+            dwp_values=(0.0, 0.5, 1.0),
+        )
+        curve = r.curves[("B", 1)]["SC"]
+        assert curve.shape == (3,)
+        assert (curve > 0).all()
+        assert r.best_dwp()[("B", 1)]["SC"] in (0.0, 0.5, 1.0)
+        assert r.max_gain() >= 1.0
+        assert "best DWP" in r.render()

@@ -7,6 +7,7 @@ from repro.experiments.sensitivity import (
     asymmetric_machine,
     probe_workload,
     run_asymmetry_sweep,
+    run_oracle_asymmetry_sweep,
     run_worker_sweep,
 )
 
@@ -50,3 +51,19 @@ class TestSweeps:
     def test_probe_is_memory_hungry(self):
         wl = probe_workload()
         assert wl.total_bw_node > 20.0
+
+
+class TestOracleSweep:
+    def test_oracle_gain_grows_with_asymmetry(self):
+        r = run_oracle_asymmetry_sweep(amplitudes=(2.0, 6.0), search_iterations=30)
+        gains = r.gains_vs_uniform_all()
+        assert set(gains) == {2.0, 6.0}
+        assert gains[6.0] > gains[2.0]
+        assert "oracle" in r.render()
+
+    def test_oracle_at_least_matches_baselines(self):
+        r = run_oracle_asymmetry_sweep(amplitudes=(4.0,), search_iterations=30)
+        oracle, uniform_all, uniform_workers = r.times[4.0]
+        assert oracle <= uniform_all and oracle <= uniform_workers
+        assert r.weights[4.0].shape == (4,)
+        assert r.weights[4.0].sum() == pytest.approx(1.0)

@@ -191,3 +191,20 @@ class TestSplitDWPTuner:
         )
         t_bwap = sim.run().execution_time("a")
         assert t_split < t_bwap * 1.10
+
+
+class TestAnalyticProbe:
+    def test_probe_matches_batched_curve(self, mach_b):
+        from repro.core.dwp import dwp_probe_curve
+
+        canonical = CanonicalTuner(mach_b).weights((0,))
+        app = Application("A", streamcluster(), mach_b, (0,), policy=None)
+        tuner = AdaptiveBWAP(app, canonical)
+        dwps, times = tuner.analytic_probe()
+        assert dwps.shape == times.shape == (11,)
+        expected = dwp_probe_curve(
+            mach_b, app.workload, (0,), canonical, dwps,
+            num_threads=app.num_threads,
+        )
+        assert np.array_equal(times, expected)
+        assert (times > 0).all()

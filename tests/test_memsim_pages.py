@@ -126,3 +126,21 @@ class TestAddressSpace:
     def test_rejects_zero_nodes(self):
         with pytest.raises(ValueError):
             AddressSpace(0)
+
+
+class TestSegmentNameUniqueness:
+    def test_duplicate_name_rejected(self):
+        sp = AddressSpace(4)
+        sp.map_segment("heap", PAGE_SIZE)
+        with pytest.raises(ValueError, match="already mapped"):
+            sp.map_segment("heap", PAGE_SIZE)
+
+    def test_space_unchanged_after_rejected_mapping(self):
+        sp = AddressSpace(4)
+        sp.map_segment("heap", PAGE_SIZE)
+        pages_before, version_before = sp.total_pages, sp.version
+        with pytest.raises(ValueError):
+            sp.map_segment("heap", 3 * PAGE_SIZE)
+        assert sp.total_pages == pages_before
+        assert sp.version == version_before
+        assert len(sp.segments) == 1
