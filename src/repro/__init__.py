@@ -49,6 +49,15 @@ from repro.memsim import (
     policy_by_name,
     solve,
 )
+from repro.faults import (
+    CounterNoiseFault,
+    DEFAULT_FAULT_PLAN,
+    FaultInjector,
+    FaultPlan,
+    LinkFault,
+    MigrationFaultSpec,
+    PhaseShock,
+)
 from repro.perf import CounterBank, LatencyModel, MeasurementConfig
 from repro.workloads import (
     WorkloadSpec,
@@ -103,6 +112,14 @@ __all__ = [
     "mbind",
     "policy_by_name",
     "solve",
+    # faults
+    "CounterNoiseFault",
+    "DEFAULT_FAULT_PLAN",
+    "FaultInjector",
+    "FaultPlan",
+    "LinkFault",
+    "MigrationFaultSpec",
+    "PhaseShock",
     # perf
     "CounterBank",
     "LatencyModel",

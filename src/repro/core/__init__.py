@@ -27,6 +27,12 @@ from repro.core.dwp import (
     combine_weights,
     dwp_probe_curve,
 )
+from repro.core.hardening import (
+    HARDENED_PROFILE,
+    HardenedCoScheduledDWPTuner,
+    HardenedDWPTuner,
+    HardeningConfig,
+)
 from repro.core.bwap import BWAPConfig, bwap_init, canonical_or_uniform
 from repro.core.classify import (
     ClassifierConfig,
@@ -62,6 +68,10 @@ __all__ = [
     "DWPTuner",
     "combine_weights",
     "dwp_probe_curve",
+    "HARDENED_PROFILE",
+    "HardenedCoScheduledDWPTuner",
+    "HardenedDWPTuner",
+    "HardeningConfig",
     "BWAPConfig",
     "bwap_init",
     "canonical_or_uniform",

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,6 +33,9 @@ from repro.core.dwp import DWPTuner
 from repro.engine.app import Application
 from repro.engine.sim import Simulator, Tuner
 from repro.perf.counters import MeasurementConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.hardening import HardeningConfig
 
 
 class AdaptiveState(enum.Enum):
@@ -108,6 +111,10 @@ class AdaptiveBWAP(Tuner):
         Adaptive thresholds.
     measurement / step / warmup_s / tolerance:
         Forwarded to the inner :class:`DWPTuner` search.
+    hardening:
+        When set, each search runs as a
+        :class:`~repro.core.hardening.HardenedDWPTuner` with these knobs;
+        ``None`` keeps the plain climb.
     """
 
     def __init__(
@@ -120,10 +127,12 @@ class AdaptiveBWAP(Tuner):
         step: float = 0.10,
         warmup_s: float = 0.5,
         tolerance: float = 0.02,
+        hardening: Optional["HardeningConfig"] = None,
     ):
         self.app = app
         self.canonical = np.asarray(canonical_weights, dtype=float)
         self.config = config
+        self.hardening = hardening
         self._tuner_kwargs = dict(
             config=measurement,
             step=step,
@@ -251,7 +260,14 @@ class AdaptiveBWAP(Tuner):
             self._drift_count = 0
 
     def _start_search(self, sim: Simulator) -> None:
-        self._inner = DWPTuner(self.app, self.canonical, **self._tuner_kwargs)
+        if self.hardening is not None:
+            from repro.core.hardening import HardenedDWPTuner
+
+            self._inner = HardenedDWPTuner(
+                self.app, self.canonical, hardening=self.hardening, **self._tuner_kwargs
+            )
+        else:
+            self._inner = DWPTuner(self.app, self.canonical, **self._tuner_kwargs)
         self._inner.on_start(sim)
         self.searches_started += 1
         self.state = AdaptiveState.TUNING

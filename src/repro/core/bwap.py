@@ -15,6 +15,11 @@ import numpy as np
 
 from repro.core.canonical import CanonicalTuner
 from repro.core.dwp import CoScheduledDWPTuner, DWPTuner
+from repro.core.hardening import (
+    HardenedCoScheduledDWPTuner,
+    HardenedDWPTuner,
+    HardeningConfig,
+)
 from repro.engine.app import Application
 from repro.engine.sim import Simulator
 from repro.perf.counters import MeasurementConfig
@@ -40,6 +45,11 @@ class BWAPConfig:
         Settle time after each migration before measuring.
     tolerance:
         Relative stall improvement required to keep climbing.
+    hardening:
+        When set, :func:`bwap_init` builds the hardened tuner variants
+        (EWMA smoothing, hysteresis, migration retry, watchdog rollback,
+        graceful degradation — see :mod:`repro.core.hardening`). ``None``
+        keeps the paper's plain climb.
     """
 
     step: float = 0.10
@@ -48,6 +58,7 @@ class BWAPConfig:
     use_canonical: bool = True
     warmup_s: float = 0.5
     tolerance: float = 0.02
+    hardening: Optional[HardeningConfig] = None
 
 
 def canonical_or_uniform(
@@ -97,10 +108,16 @@ def bwap_init(
         warmup_s=config.warmup_s,
         tolerance=config.tolerance,
     )
-    if high_priority_app_id is not None:
-        tuner: DWPTuner = CoScheduledDWPTuner(
-            app, canonical, high_priority_app_id, **common
-        )
+    if config.hardening is not None:
+        common["hardening"] = config.hardening
+        if high_priority_app_id is not None:
+            tuner: DWPTuner = HardenedCoScheduledDWPTuner(
+                app, canonical, high_priority_app_id, **common
+            )
+        else:
+            tuner = HardenedDWPTuner(app, canonical, **common)
+    elif high_priority_app_id is not None:
+        tuner = CoScheduledDWPTuner(app, canonical, high_priority_app_id, **common)
     else:
         tuner = DWPTuner(app, canonical, **common)
     sim.add_tuner(tuner)

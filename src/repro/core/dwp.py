@@ -23,7 +23,6 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.interleave import apply_weighted_placement
 from repro.engine.app import Application
 from repro.engine.sim import Simulator, Tuner
 from repro.perf.counters import MeasurementConfig
@@ -182,7 +181,7 @@ class DWPTuner(Tuner):
     def on_start(self, sim: Simulator) -> None:
         """BWAP-init: place pages at the canonical distribution (DWP = 0)."""
         self._apply(sim, self.dwp)
-        self._next_action = sim.now + self.warmup_s + self.config.wall_time_s
+        self._next_action = sim.now + self.warmup_s + self._measurement_wall_s()
 
     def on_epoch(self, sim: Simulator) -> None:
         if self._phase is _Phase.DONE:
@@ -191,17 +190,23 @@ class DWPTuner(Tuner):
             if self.app.finished:
                 self._phase = _Phase.DONE
             return
+        if not self._pre_measure(sim):
+            return
 
-        stall = sim.sample_stall_rate(self.app.app_id, self.config)
+        stall = self._measure(sim)
         if self._prev_stall is None:
             # Baseline at DWP = 0 recorded; try the first increase.
             self.trajectory.append(DWPStep(sim.now, self.dwp, stall, accepted=True))
+            if not self._post_decision(sim, stall, improved=True):
+                return
             self._prev_stall = stall
             self._raise_dwp(sim)
             return
 
-        improved = stall < self._prev_stall * (1.0 - self.tolerance)
+        improved = stall < self._prev_stall * self._accept_factor()
         self.trajectory.append(DWPStep(sim.now, self.dwp, stall, accepted=improved))
+        if not self._post_decision(sim, stall, improved):
+            return
         if improved and self.dwp < 1.0 - 1e-9:
             self._prev_stall = stall
             self._raise_dwp(sim)
@@ -225,19 +230,51 @@ class DWPTuner(Tuner):
         return len(self.trajectory)
 
     # ------------------------------------------------------------------ #
-    # Internals
+    # Internals — the hooks the hardened variants override
     # ------------------------------------------------------------------ #
+
+    def _pre_measure(self, sim: Simulator) -> bool:
+        """Gate before measuring; False skips this decision point.
+
+        Hardened tuners use it to replay pending migration retries and to
+        settle after a graceful degradation.
+        """
+        return True
+
+    def _measure(self, sim: Simulator) -> float:
+        """The stall signal a decision is based on."""
+        return self._measure_for(sim, self.app.app_id)
+
+    def _measure_for(self, sim: Simulator, app_id: str) -> float:
+        """One measurement round for an arbitrary application."""
+        return sim.sample_stall_rate(app_id, self.config)
+
+    def _accept_factor(self) -> float:
+        """Relative factor the new stall must beat the previous one by."""
+        return 1.0 - self.tolerance
+
+    def _post_decision(self, sim: Simulator, stall: float, improved: bool) -> bool:
+        """Observe a recorded decision; False means a hardened override
+        (rollback, degradation) took control of this decision point."""
+        return True
+
+    def _measurement_wall_s(self) -> float:
+        """Wall time one decision's measurement occupies."""
+        return self.config.wall_time_s
 
     def _raise_dwp(self, sim: Simulator) -> None:
         self.dwp = min(1.0, self.dwp + self.step)
         self._apply(sim, self.dwp)
-        self._next_action = sim.now + self.warmup_s + self.config.wall_time_s
+        self._next_action = sim.now + self.warmup_s + self._measurement_wall_s()
 
     def _apply(self, sim: Simulator, dwp: float) -> None:
         weights = combine_weights(self.canonical, self.app.worker_nodes, dwp)
-        outcome = apply_weighted_placement(self.app.space, weights, mode=self.mode)
-        if outcome.pages_moved:
-            sim.charge_migration(self.app, outcome.pages_moved)
+        self._dispatch_migration(sim, weights)
+
+    def _dispatch_migration(self, sim: Simulator, weights: np.ndarray) -> None:
+        """Enforce a weight vector; fault dispositions are best-effort here
+        (the unhardened tuner never notices a failed batch)."""
+        sim.migrate_placement(self.app, weights, mode=self.mode)
 
 
 class CoScheduledDWPTuner(DWPTuner):
@@ -298,8 +335,10 @@ class CoScheduledDWPTuner(DWPTuner):
             if self.app.finished:
                 self._phase = _Phase.DONE
             return
+        if not self._pre_measure(sim):
+            return
 
-        a_stall = sim.sample_stall_rate(self.high_priority_app_id, self.config)
+        a_stall = self._measure_for(sim, self.high_priority_app_id)
         if self._prev_a_stall is None:
             self._prev_a_stall = a_stall
             self.trajectory.append(DWPStep(sim.now, self.dwp, a_stall, accepted=True))
@@ -326,6 +365,11 @@ class CoScheduledDWPTuner(DWPTuner):
             self._stage = 2
             self._prev_stall = None
             self._next_action = sim.now  # measure B immediately
+            self._on_stage_transition(sim)
+
+    def _on_stage_transition(self, sim: Simulator) -> None:
+        """Hook at the stage-1 -> stage-2 handoff (hardened variants reset
+        their smoothing state here: A's signal must not leak into B's)."""
 
     @property
     def stage(self) -> int:

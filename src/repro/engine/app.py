@@ -109,6 +109,10 @@ class Application:
         #: Extra seconds of stall the app still owes (migration costs).
         self.pending_penalty_s: float = 0.0
         self.epoch_index: int = 0
+        #: Multiplier on the workload's demand, set per-epoch by the
+        #: simulator when a fault plan injects phase shocks. 1.0 (the
+        #: default) leaves demand untouched.
+        self.demand_scale: float = 1.0
 
     @property
     def workload(self) -> WorkloadSpec:
@@ -177,7 +181,7 @@ class Application:
         that worker's share of the work is done."""
         if self.finished or self._remaining.get(node, 0.0) <= 0.0:
             return 0.0
-        return self.workload.node_demand_gbps(
+        return self.demand_scale * self.workload.node_demand_gbps(
             self.threads_on(node), self.num_threads, len(self.worker_nodes)
         )
 
@@ -226,7 +230,12 @@ class Application:
             raise ValueError(f"bytes_done must be non-negative, got {bytes_done}")
         if node not in self._remaining:
             raise KeyError(f"{node} is not a worker node of {self.app_id}")
-        self._remaining[node] = max(0.0, self._remaining[node] - bytes_done)
+        left = max(0.0, self._remaining[node] - bytes_done)
+        # Snap sub-byte residues to done. Exact-completion time steps leave
+        # floating-point crumbs (~1e-7 bytes) whose dt = crumb/rate underflows
+        # against the clock, so without the snap the simulator spins through
+        # zero-length epochs and then charges a full spurious epoch.
+        self._remaining[node] = left if left >= 1.0 else 0.0
 
     def check_finished(self, now: float) -> bool:
         """Mark completion; looping apps restart immediately."""

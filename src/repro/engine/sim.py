@@ -22,6 +22,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.engine.app import Application
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    MigrationDisposition,
+    as_injector,
+)
 from repro.memsim.contention import (
     Allocation,
     SolverCache,
@@ -30,7 +36,8 @@ from repro.memsim.contention import (
 )
 from repro.memsim.controller import DEFAULT_MC_MODEL, MCModel
 from repro.memsim.migration import MigrationEngine, MigrationStats
-from repro.perf.counters import CounterBank, MeasurementConfig
+from repro.memsim.pages import UNALLOCATED
+from repro.perf.counters import CounterBank, MeasurementConfig, StallSample
 from repro.perf.latency import DEFAULT_LATENCY_MODEL, LatencyModel
 from repro.perf.profiler import TrafficSample
 from repro.perf.stalls import WorkerLoad, slowdown, stall_fraction
@@ -117,6 +124,7 @@ class Simulator:
         seed: int = 1234,
         solver_cache: bool = True,
         solver_cache_size: int = 128,
+        faults: Optional["FaultPlan | FaultInjector"] = None,
     ):
         if epoch_s <= 0:
             raise ValueError(f"epoch length must be positive, got {epoch_s}")
@@ -125,6 +133,12 @@ class Simulator:
         self.latency_model = latency_model
         self.counters = counters if counters is not None else CounterBank(seed=seed)
         self.migration = migration if migration is not None else MigrationEngine()
+        #: Fault injector (None on a fault-free run — every hook below is
+        #: gated on it, so the fault-free paths are bit-for-bit identical
+        #: to a simulator built without the ``faults`` argument).
+        self.faults: Optional[FaultInjector] = as_injector(faults)
+        if self.faults is not None and self.faults.perturbs_counters:
+            self.counters.fault_hook = self.faults.perturb_reading
         self.epoch_s = epoch_s
         self.now = 0.0
         self._apps: Dict[str, Application] = {}
@@ -185,6 +199,16 @@ class Simulator:
         """Noisy trimmed-mean stall measurement (the tuners' only signal)."""
         return self.counters.sample_stall_rate(app_id, config)
 
+    def sample_stall_stats(
+        self, app_id: str, config: MeasurementConfig = MeasurementConfig()
+    ) -> StallSample:
+        """Trimmed-mean measurement plus its dispersion (hardened tuners).
+
+        Consumes exactly the same RNG draws as :meth:`sample_stall_rate`,
+        so swapping between the two never shifts the noise sequence.
+        """
+        return self.counters.sample_stall_stats(app_id, config)
+
     def charge_migration(self, app: Application, pages_moved: int) -> float:
         """Account a page-migration batch and stall the app for its cost."""
         cost = self.migration.record(
@@ -192,6 +216,57 @@ class Simulator:
         )
         app.charge_penalty(cost)
         return cost
+
+    def migrate_placement(
+        self, app: Application, weights: Sequence[float], *, mode: str = "user"
+    ) -> MigrationDisposition:
+        """Apply a weighted placement to an app, subject to migration faults.
+
+        Fault-free (no plan, or no migration faults in it) this is exactly
+        the tuners' historical apply-then-charge sequence. Under a fault
+        plan the batch may bounce wholesale (EBUSY: every moved page is
+        reverted, nothing charged) or lose individual pages (the failed
+        subset reverts to its old nodes; only surviving pages are charged).
+        Newly backed pages are allocations, not migrations — they always
+        stick, mirroring ``mbind`` setting policy even when the move part
+        of the call fails.
+        """
+        from repro.core.interleave import apply_weighted_placement
+
+        space = app.space
+        injector = self.faults
+        faulty = (
+            injector is not None
+            and injector.plan.migration is not None
+            and not injector.plan.migration.is_null
+        )
+        if not faulty:
+            outcome = apply_weighted_placement(space, weights, mode=mode)
+            if outcome.pages_moved:
+                self.charge_migration(app, outcome.pages_moved)
+            return MigrationDisposition(
+                requested=outcome.pages_moved, rejected=False, pages_failed=0
+            )
+
+        before = space.page_nodes().copy()
+        apply_weighted_placement(space, weights, mode=mode)
+        after = space.page_nodes()
+        moved_idx = np.nonzero((after != before) & (before != UNALLOCATED))[0]
+        requested = len(moved_idx)
+        disposition = injector.migration_disposition(requested)
+        if disposition.rejected:
+            space.assign_pages(moved_idx, before[moved_idx])
+            self.migration.record_rejection(app.app_id)
+            return disposition
+        if disposition.pages_failed:
+            failed_idx = injector.choose_failed_pages(
+                moved_idx, disposition.pages_failed
+            )
+            space.assign_pages(failed_idx, before[failed_idx])
+            self.migration.record_failed(app.app_id, len(failed_idx))
+        if disposition.pages_ok:
+            self.charge_migration(app, disposition.pages_ok)
+        return disposition
 
     # ------------------------------------------------------------------ #
     # Main loop
@@ -252,6 +327,20 @@ class Simulator:
         """Advance one epoch."""
         apps = [a for a in self._apps.values() if not a.finished]
 
+        # Fault-plan state for this epoch: phase shocks scale demands,
+        # link-degradation windows scale solver capacities. Both are pure
+        # functions of sim time, so they fold into the cache keys below.
+        faults = self.faults
+        cap_scale = None
+        scale_key = None
+        if faults is not None:
+            if faults.plan.phase_shocks:
+                for app in apps:
+                    app.demand_scale = faults.demand_scale(app.app_id, self.now)
+            if faults.plan.link_faults:
+                cap_scale = faults.capacity_scale(self.machine, self.now)
+                scale_key = faults.capacity_scale_key(self.now)
+
         # Adaptive policies (e.g. autonuma) act at epoch granularity.
         policy_moved = 0
         for app in apps:
@@ -270,12 +359,14 @@ class Simulator:
                 consumer_by_key[c.key()] = c
         if self.solver_cache is not None:
             fp = consumers_fingerprint(consumers, self.mc_model)
+            if scale_key is not None:
+                fp = (fp, scale_key)
             alloc = self.solver_cache.solve_keyed(
-                fp, self.machine, consumers, self.mc_model
+                fp, self.machine, consumers, self.mc_model, capacity_scale=cap_scale
             )
         else:
             fp = None
-            alloc = solve(self.machine, consumers, self.mc_model)
+            alloc = solve(self.machine, consumers, self.mc_model, capacity_scale=cap_scale)
         self._last_allocation = alloc
 
         # Per-worker slowdowns and progress rates. Everything computed here
@@ -340,6 +431,12 @@ class Simulator:
                 rem = app.remaining(w)
                 if rate > 0 and rem > 0:
                     dt = min(dt, rem / rate + horizon_shift)
+        if faults is not None:
+            # Never jump past a fault-window edge: the scales computed at
+            # the top of the epoch are only valid up to the next edge.
+            edge = faults.next_event_after(self.now)
+            if edge is not None:
+                dt = min(dt, edge - self.now)
         dt = min(dt, max(deadline - self.now, 0.0))
         if not np.isfinite(dt) or dt <= 0:
             dt = min(self.epoch_s, max(deadline - self.now, 1e-6))

@@ -36,6 +36,11 @@ from repro.experiments.extensions import (
     run_hybrid_study,
     run_split_study,
 )
+from repro.experiments.fault_matrix import (
+    FaultCell,
+    FaultMatrixResult,
+    run_fault_matrix,
+)
 from repro.experiments.robustness import RobustnessResult, run_robustness
 from repro.experiments.sensitivity import (
     AsymmetrySweepResult,
@@ -96,6 +101,9 @@ __all__ = [
     "run_adaptive_study",
     "run_hybrid_study",
     "run_split_study",
+    "FaultCell",
+    "FaultMatrixResult",
+    "run_fault_matrix",
     "RobustnessResult",
     "run_robustness",
     "AsymmetrySweepResult",

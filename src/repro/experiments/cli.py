@@ -98,6 +98,12 @@ def _robustness() -> str:
     return run_robustness().render()
 
 
+def _fault_matrix() -> str:
+    from repro.experiments.fault_matrix import run_fault_matrix
+
+    return run_fault_matrix().render()
+
+
 def _machines() -> str:
     from repro.topology import describe, hybrid_dram_nvm, machine_a, machine_b
 
@@ -137,6 +143,7 @@ EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "machines": _machines,
     "sensitivity": _sensitivity,
     "robustness": _robustness,
+    "fault-matrix": _fault_matrix,
 }
 
 

@@ -7,6 +7,7 @@ Swaptions, exactly as Section IV does — and measure its execution time.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import zlib
 from concurrent.futures import ProcessPoolExecutor
@@ -17,6 +18,7 @@ import numpy as np
 
 from repro.core import BWAPConfig, CanonicalTuner, bwap_init, combine_weights
 from repro.engine import Application, Simulator, pick_worker_nodes
+from repro.faults import FaultPlan
 from repro.memsim import (
     AutoNUMA,
     CarrefourLike,
@@ -64,7 +66,12 @@ def get_canonical(machine: Machine) -> CanonicalTuner:
 
 @dataclass(frozen=True)
 class RunOutcome:
-    """Everything an experiment needs from one scenario run."""
+    """Everything an experiment needs from one scenario run.
+
+    The trailing fault/hardening fields stay at their zero defaults on
+    fault-free runs with plain tuners, so pre-existing consumers are
+    unaffected.
+    """
 
     exec_time_s: float
     mean_stall: float
@@ -72,6 +79,11 @@ class RunOutcome:
     pages_moved: int
     final_dwp: Optional[float] = None
     tuner_iterations: Optional[int] = None
+    pages_failed: int = 0
+    migration_rejections: int = 0
+    migration_retries: int = 0
+    rollbacks: int = 0
+    degraded: bool = False
 
     def speedup_over(self, baseline: "RunOutcome") -> float:
         """Speedup of this run relative to a baseline run."""
@@ -112,6 +124,7 @@ def run_scenario(
     canonical: Optional[CanonicalTuner] = None,
     seed: int = 42,
     max_time: float = 36000.0,
+    faults: Optional[FaultPlan] = None,
 ) -> RunOutcome:
     """Deploy ``workload`` under one placement policy and measure it.
 
@@ -127,11 +140,15 @@ def run_scenario(
         When True, Swaptions (the non-memory-intensive app A) runs on all
         remaining nodes, continuously, with its pages placed locally; the
         measured app B uses the co-scheduled BWAP variant.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` injected into the
+        simulator (counter noise, migration faults, link degradation,
+        phase shocks). ``None`` keeps the run bit-for-bit fault-free.
     """
     workers = pick_worker_nodes(machine, num_workers)
     if canonical is None:
         canonical = get_canonical(machine)
-    sim = Simulator(machine, seed=seed)
+    sim = Simulator(machine, seed=seed, faults=faults)
 
     a_id: Optional[str] = None
     if coscheduled:
@@ -165,14 +182,7 @@ def run_scenario(
     if policy in ("bwap", "bwap-uniform"):
         config = bwap_config or BWAPConfig(use_canonical=(policy == "bwap"))
         if config.use_canonical != (policy == "bwap"):
-            config = BWAPConfig(
-                step=config.step,
-                measurement=config.measurement,
-                mode=config.mode,
-                use_canonical=(policy == "bwap"),
-                warmup_s=config.warmup_s,
-                tolerance=config.tolerance,
-            )
+            config = dataclasses.replace(config, use_canonical=(policy == "bwap"))
         tuner = bwap_init(
             sim,
             app,
@@ -183,13 +193,19 @@ def run_scenario(
 
     result = sim.run(max_time=max_time)
     tele = result.telemetry["B"]
+    migration = result.migration["B"]
     return RunOutcome(
         exec_time_s=result.execution_time("B"),
         mean_stall=tele.mean_stall_fraction,
         throughput_gbps=tele.mean_throughput_gbps,
-        pages_moved=result.migration["B"].pages_moved,
+        pages_moved=migration.pages_moved,
         final_dwp=None if tuner is None else tuner.final_dwp,
         tuner_iterations=None if tuner is None else tuner.iterations,
+        pages_failed=migration.pages_failed,
+        migration_rejections=migration.rejected_calls,
+        migration_retries=migration.retries,
+        rollbacks=getattr(tuner, "rollbacks", 0),
+        degraded=getattr(tuner, "degraded", False),
     )
 
 
@@ -248,6 +264,7 @@ class ScenarioSpec:
     bwap_config: Optional[BWAPConfig] = None
     seed: int = 42
     max_time: float = 36000.0
+    fault_plan: Optional[FaultPlan] = None
 
     def resolve_machine(self) -> Machine:
         """The concrete machine this scenario runs on."""
@@ -271,6 +288,7 @@ def run_spec(spec: ScenarioSpec) -> RunOutcome:
         bwap_config=spec.bwap_config,
         seed=spec.seed,
         max_time=spec.max_time,
+        faults=spec.fault_plan,
     )
 
 

@@ -12,14 +12,13 @@ BWAP's worst case against the best static baseline per workload.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import dataclasses as dc
 
-from repro.core import BWAPConfig, CanonicalTuner, bwap_init
-from repro.engine import Application, Simulator, pick_worker_nodes
+from repro.core import BWAPConfig
+from repro.experiments.common import ScenarioSpec, derive_seed, run_specs
 from repro.experiments.report import format_table
-from repro.memsim import FirstTouch, UniformAll, UniformWorkers
 from repro.perf.counters import MeasurementConfig
 from repro.topology.machine import Machine
 from repro.units import MiB
@@ -27,12 +26,8 @@ from repro.workloads import workload_sweep
 
 QUICK = MeasurementConfig(n=8, c=2, t=0.1)
 
-#: Baselines each random workload is compared against.
-BASELINES = (
-    ("first-touch", FirstTouch),
-    ("uniform-workers", UniformWorkers),
-    ("uniform-all", UniformAll),
-)
+#: Baseline policies each random workload is compared against.
+BASELINES = ("first-touch", "uniform-workers", "uniform-all")
 
 
 @dataclass
@@ -79,38 +74,50 @@ def run_robustness(
     num_workers: int = 2,
     seed: int = 11,
     machine: Machine = None,
+    jobs: Optional[int] = None,
 ) -> RobustnessResult:
-    """Sweep random workloads and compare BWAP to the best static baseline."""
-    if machine is None:
-        from repro.experiments.common import get_machine
+    """Sweep random workloads and compare BWAP to the best static baseline.
 
-        machine = get_machine("A")
-    canonical = CanonicalTuner(machine)
-    workers = pick_worker_nodes(machine, num_workers)
-
-    rows: Dict[str, Tuple[float, float, str]] = {}
-    for wl in workload_sweep(num_workloads, seed=seed):
+    Every (workload, policy) pair is one :class:`ScenarioSpec` carrying a
+    :func:`derive_seed`-derived scenario seed, so the whole sweep fans out
+    over worker processes (``jobs`` / ``BWAP_JOBS``) with results
+    bit-identical to a serial run.
+    """
+    machine_ref: Union[str, Machine] = "A" if machine is None else machine
+    policies = BASELINES + ("bwap",)
+    workloads = [
         # Keep the runs short: robustness is about ordering, not scale.
-        wl = dc.replace(
+        dc.replace(
             wl,
             work_bytes=120e9,
             shared_bytes=32 * MiB,
             private_bytes_per_thread=min(wl.private_bytes_per_thread, 8 * MiB),
         )
-        best_time, best_name = float("inf"), ""
-        for name, factory in BASELINES:
-            sim = Simulator(machine)
-            sim.add_app(Application("a", wl, machine, workers, policy=factory()))
-            t = sim.run().execution_time("a")
-            if t < best_time:
-                best_time, best_name = t, name
-
-        sim = Simulator(machine)
-        app = sim.add_app(Application("a", wl, machine, workers, policy=None))
-        bwap_init(
-            sim, app, canonical_tuner=canonical,
-            config=BWAPConfig(measurement=QUICK, warmup_s=0.2),
+        for wl in workload_sweep(num_workloads, seed=seed)
+    ]
+    specs = [
+        ScenarioSpec(
+            machine=machine_ref,
+            workload=wl,
+            num_workers=num_workers,
+            policy=p,
+            bwap_config=(
+                BWAPConfig(measurement=QUICK, warmup_s=0.2) if p == "bwap" else None
+            ),
+            seed=derive_seed(seed, wl.name, p),
         )
-        t_bwap = sim.run().execution_time("a")
-        rows[wl.name] = (t_bwap, best_time, best_name)
+        for wl in workloads
+        for p in policies
+    ]
+    outcomes = run_specs(specs, jobs=jobs)
+
+    rows: Dict[str, Tuple[float, float, str]] = {}
+    for i, wl in enumerate(workloads):
+        per = dict(zip(policies, outcomes[i * len(policies) : (i + 1) * len(policies)]))
+        best_name = min(BASELINES, key=lambda p: per[p].exec_time_s)
+        rows[wl.name] = (
+            per["bwap"].exec_time_s,
+            per[best_name].exec_time_s,
+            best_name,
+        )
     return RobustnessResult(rows=rows)

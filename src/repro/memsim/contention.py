@@ -175,14 +175,20 @@ class SolverCache:
         machine: Machine,
         consumers: Sequence[Consumer],
         mc_model: MCModel = DEFAULT_MC_MODEL,
+        *,
+        capacity_scale: Optional[np.ndarray] = None,
     ) -> Allocation:
         """Like :func:`solve`, but replaying a cached result when possible.
 
         One cache instance must only ever see one machine: the fingerprint
         deliberately excludes the (immutable, identity-stable) machine.
         """
-        key = consumers_fingerprint(consumers, mc_model)
-        return self.solve_keyed(key, machine, consumers, mc_model)
+        key: Hashable = consumers_fingerprint(consumers, mc_model)
+        if capacity_scale is not None:
+            key = (key, np.ascontiguousarray(capacity_scale, dtype=float).tobytes())
+        return self.solve_keyed(
+            key, machine, consumers, mc_model, capacity_scale=capacity_scale
+        )
 
     def solve_keyed(
         self,
@@ -190,11 +196,15 @@ class SolverCache:
         machine: Machine,
         consumers: Sequence[Consumer],
         mc_model: MCModel = DEFAULT_MC_MODEL,
+        *,
+        capacity_scale: Optional[np.ndarray] = None,
     ) -> Allocation:
         """Like :meth:`solve` with a precomputed fingerprint.
 
         For callers (the simulator) that also key their own derived caches
-        on the fingerprint and must not pay for computing it twice.
+        on the fingerprint and must not pay for computing it twice. When
+        ``capacity_scale`` is given the caller's key must already encode it
+        (the simulator folds the fault injector's scale key in).
         """
         hit = self._entries.get(key)
         if hit is not None:
@@ -202,7 +212,7 @@ class SolverCache:
             self._entries.move_to_end(key)
             return hit
         self.misses += 1
-        alloc = solve(machine, consumers, mc_model)
+        alloc = solve(machine, consumers, mc_model, capacity_scale=capacity_scale)
         self._entries[key] = alloc
         if len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
@@ -479,6 +489,7 @@ def solve_batch_arrays(
     mc_model: MCModel = DEFAULT_MC_MODEL,
     *,
     coefficients: Optional[np.ndarray] = None,
+    capacity_scale: Optional[np.ndarray] = None,
 ) -> BatchArrays:
     """Vectorised max-min progressive filling over a batch of consumer sets.
 
@@ -491,6 +502,11 @@ def solve_batch_arrays(
     reductions over the consumer axis accumulate sequentially (dead-slot
     zeros are exact no-ops) and all other contractions run over fixed-size
     machine axes.
+
+    ``capacity_scale`` is an optional per-resource multiplier over the
+    canonical ``machine_tables(machine).res_keys`` axis (fault plans use
+    it to degrade link capacities mid-run); ``None`` leaves the solve
+    bit-for-bit unchanged.
     """
     t = machine_tables(machine)
     mix = np.asarray(mix, dtype=float)
@@ -538,6 +554,15 @@ def solve_batch_arrays(
     caps[:, t.mc_rows] = t.eff_table(mc_model)[
         np.arange(num_nodes)[None, :], reader_counts
     ]
+    if capacity_scale is not None:
+        scale = np.asarray(capacity_scale, dtype=float)
+        if scale.shape != (num_res,):
+            raise ValueError(
+                f"capacity_scale must have shape ({num_res},), got {scale.shape}"
+            )
+        if (scale <= 0).any():
+            raise ValueError("capacity_scale entries must be positive")
+        caps = caps * scale
     caps = np.where(touched, caps, np.inf)
     saturation_slack = _EPS * np.maximum(caps, 1.0)
 
@@ -642,6 +667,8 @@ def solve_batch(
     machine: Machine,
     consumer_batches: Iterable[Sequence[Consumer]],
     mc_model: MCModel = DEFAULT_MC_MODEL,
+    *,
+    capacity_scale: Optional[np.ndarray] = None,
 ) -> List[Allocation]:
     """Solve many independent consumer sets in one vectorised pass.
 
@@ -688,7 +715,14 @@ def solve_batch(
             write_frac[b, j] = c.write_fraction
             live_mask[b, j] = True
     arrays = solve_batch_arrays(
-        machine, node_idx, mix, demand, write_frac, live_mask, mc_model
+        machine,
+        node_idx,
+        mix,
+        demand,
+        write_frac,
+        live_mask,
+        mc_model,
+        capacity_scale=capacity_scale,
     )
     return [
         _allocation_from_batch(batches[b], lives[b], arrays, b)
@@ -700,6 +734,8 @@ def solve(
     machine: Machine,
     consumers: Sequence[Consumer],
     mc_model: MCModel = DEFAULT_MC_MODEL,
+    *,
+    capacity_scale: Optional[np.ndarray] = None,
 ) -> Allocation:
     """Max-min fair progressive filling across consumers.
 
@@ -708,7 +744,7 @@ def solve(
     consumer reaches its demand cap it freezes satisfied. Terminates after
     at most ``len(resources) + len(consumers)`` rounds.
     """
-    return solve_batch(machine, [consumers], mc_model)[0]
+    return solve_batch(machine, [consumers], mc_model, capacity_scale=capacity_scale)[0]
 
 
 def proportional_profile(

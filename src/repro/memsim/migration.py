@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
+import numpy as np
+
 from repro.units import PAGE_SIZE
 
 #: Fixed per-page kernel overhead (unmap, remap, TLB shootdown), seconds.
@@ -32,12 +34,20 @@ DEFAULT_PAGE_MIGRATION_COST_S: float = (
 
 @dataclass
 class MigrationStats:
-    """Cumulative migration activity of one application."""
+    """Cumulative migration activity of one application.
+
+    ``pages_failed`` / ``rejected_calls`` / ``retries`` only move when a
+    fault plan injects migration faults (see :mod:`repro.faults`); on a
+    fault-free run they stay zero.
+    """
 
     pages_moved: int = 0
     migration_calls: int = 0
     time_spent_s: float = 0.0
     bytes_moved: int = 0
+    pages_failed: int = 0
+    rejected_calls: int = 0
+    retries: int = 0
 
 
 class MigrationEngine:
@@ -76,6 +86,10 @@ class MigrationEngine:
         self, app_id: str, pages_moved: int, page_size: int = PAGE_SIZE
     ) -> float:
         """Record a migration batch; returns the time cost in seconds."""
+        if not isinstance(pages_moved, (int, np.integer)):
+            raise TypeError(
+                f"pages_moved must be an integer, got {type(pages_moved).__name__}"
+            )
         if pages_moved < 0:
             raise ValueError(f"pages_moved must be non-negative, got {pages_moved}")
         stats = self._stats.setdefault(app_id, MigrationStats())
@@ -85,6 +99,25 @@ class MigrationEngine:
         stats.time_spent_s += cost
         stats.bytes_moved += pages_moved * page_size
         return cost
+
+    def record_failed(self, app_id: str, pages_failed: int) -> None:
+        """Account pages that a faulty migration batch left on their old
+        nodes (no time cost: the kernel gives up on them cheaply)."""
+        if not isinstance(pages_failed, (int, np.integer)):
+            raise TypeError(
+                f"pages_failed must be an integer, got {type(pages_failed).__name__}"
+            )
+        if pages_failed < 0:
+            raise ValueError(f"pages_failed must be non-negative, got {pages_failed}")
+        self._stats.setdefault(app_id, MigrationStats()).pages_failed += pages_failed
+
+    def record_rejection(self, app_id: str) -> None:
+        """Account a transiently rejected (EBUSY-style) migration call."""
+        self._stats.setdefault(app_id, MigrationStats()).rejected_calls += 1
+
+    def record_retry(self, app_id: str) -> None:
+        """Account a replay of a previously rejected migration batch."""
+        self._stats.setdefault(app_id, MigrationStats()).retries += 1
 
     def stats(self, app_id: str) -> MigrationStats:
         """Cumulative stats for an application (zeros when none recorded)."""

@@ -249,6 +249,32 @@ class AddressSpace:
             self._bump_version()
         return moved
 
+    def assign_pages(self, indices: np.ndarray, nodes: np.ndarray) -> int:
+        """Scatter-assign nodes to individual pages; returns pages *moved*.
+
+        The scattered counterpart of :meth:`set_pages`, used by the fault
+        path to revert the subset of a migration batch that failed.
+        """
+        indices = np.asarray(indices, dtype=np.intp)
+        nodes = np.asarray(nodes, dtype=np.int16)
+        if indices.shape != nodes.shape:
+            raise ValueError(
+                f"indices and nodes must match, got {indices.shape} vs {nodes.shape}"
+            )
+        if len(indices) == 0:
+            return 0
+        if indices.min() < 0 or indices.max() >= len(self._page_nodes):
+            raise IndexError("page index out of range")
+        if nodes.min() < 0 or nodes.max() >= self.num_nodes:
+            raise ValueError("assignment contains invalid node ids")
+        current = self._page_nodes[indices]
+        changed = current != nodes
+        moved = int(((current != UNALLOCATED) & changed).sum())
+        if changed.any():
+            self._page_nodes[indices] = nodes
+            self._bump_version()
+        return moved
+
     # ------------------------------------------------------------------ #
     # Placement statistics
     # ------------------------------------------------------------------ #

@@ -12,7 +12,7 @@ from repro.perf.stalls import (
     stall_fraction,
     stall_rate_cycles_per_s,
 )
-from repro.perf.counters import CounterBank, MeasurementConfig
+from repro.perf.counters import CounterBank, MeasurementConfig, StallSample
 from repro.perf.profiler import AccessCharacterisation, AccessProfiler, TrafficSample
 
 __all__ = [
@@ -24,6 +24,7 @@ __all__ = [
     "stall_rate_cycles_per_s",
     "CounterBank",
     "MeasurementConfig",
+    "StallSample",
     "AccessCharacterisation",
     "AccessProfiler",
     "TrafficSample",

@@ -12,7 +12,7 @@ untested.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -40,6 +40,21 @@ class MeasurementConfig:
         return self.n * self.t
 
 
+@dataclass(frozen=True)
+class StallSample:
+    """One measurement round with its dispersion.
+
+    ``mean`` is the paper's trimmed mean — bitwise identical to what
+    :meth:`CounterBank.sample_stall_rate` returns for the same RNG state.
+    ``cv`` is the coefficient of variation of the trimmed samples, the
+    signal-to-noise estimate hardened tuners use to decide whether the
+    climb is winnable at all.
+    """
+
+    mean: float
+    cv: float
+
+
 @dataclass
 class _AppCounters:
     """Latest true counter values for one application."""
@@ -62,6 +77,11 @@ class CounterBank:
         trimmed-mean procedure exists to reject.
     seed:
         RNG seed (reads are reproducible).
+    fault_hook:
+        Optional extra perturbation applied to every noisy read (set by
+        the simulator when a fault plan injects counter noise; see
+        :meth:`repro.faults.FaultInjector.perturb_reading`). ``None``
+        leaves the read path bit-for-bit unchanged.
     """
 
     def __init__(
@@ -70,6 +90,7 @@ class CounterBank:
         outlier_prob: float = 0.05,
         outlier_scale: float = 1.6,
         seed: int = 1234,
+        fault_hook: Optional[Callable[[float], float]] = None,
     ):
         if noise_std < 0:
             raise ValueError(f"noise_std must be non-negative, got {noise_std}")
@@ -82,6 +103,7 @@ class CounterBank:
         self.outlier_scale = outlier_scale
         self._rng = np.random.default_rng(seed)
         self._apps: Dict[str, _AppCounters] = {}
+        self.fault_hook = fault_hook
 
     # ------------------------------------------------------------------ #
     # Updates from the simulator
@@ -127,10 +149,24 @@ class CounterBank:
         self, app_id: str, config: MeasurementConfig = MeasurementConfig()
     ) -> float:
         """The paper's robust measurement: n reads, trim c at each end, mean."""
+        return self.sample_stall_stats(app_id, config).mean
+
+    def sample_stall_stats(
+        self, app_id: str, config: MeasurementConfig = MeasurementConfig()
+    ) -> StallSample:
+        """One measurement round with its dispersion.
+
+        Consumes exactly the same RNG draws as :meth:`sample_stall_rate`
+        (the mean is bitwise identical); additionally reports the trimmed
+        samples' coefficient of variation so hardened tuners can estimate
+        the signal-to-noise ratio without extra reads.
+        """
         samples = np.array([self.read_stall_rate(app_id) for _ in range(config.n)])
         samples.sort()
         trimmed = samples[config.c : config.n - config.c]
-        return float(trimmed.mean())
+        mean = float(trimmed.mean())
+        cv = float(trimmed.std() / mean) if mean > 0 else 0.0
+        return StallSample(mean=mean, cv=cv)
 
     # ------------------------------------------------------------------ #
     # Internals
@@ -146,4 +182,7 @@ class CounterBank:
         noise = 1.0 + self._rng.normal(0.0, self.noise_std)
         if self._rng.random() < self.outlier_prob:
             noise *= 1.0 + self._rng.random() * (self.outlier_scale - 1.0)
-        return max(0.0, value * noise)
+        out = max(0.0, value * noise)
+        if self.fault_hook is not None:
+            out = self.fault_hook(out)
+        return out
