@@ -1,0 +1,138 @@
+"""Array-native epoch kernel — epochs/sec and exactness on a tuner-active run.
+
+The epoch kernel (:mod:`repro.engine.kernel`) replaces the simulator's
+per-consumer Python loops with dense NumPy arrays laid out once per
+placement version, and fast-forwards across multi-epoch tuner dormancy
+windows in one exact jump. This benchmark pins down its two claims:
+
+1. **Speed** — a tuner-active DWP run (an adaptive monitor holding a
+   tuned co-schedule that never goes static) executes at >= 3x the
+   epochs/sec of the reference scalar path.
+2. **Exactness** — kernel-on and kernel-off runs produce bitwise-identical
+   ``SimResult``\\ s, counter banks, RNG states, tuner trajectories, and
+   epoch counts, with and without a full-intensity fault plan; the kernel
+   is a re-expression of the epoch loop, not an approximation.
+
+Set ``BWAP_BENCH_QUICK=1`` to skip the timing assertion (CI smoke mode);
+the exactness assertions always run.
+"""
+
+import dataclasses
+import os
+import time
+
+from repro.core import AdaptiveBWAP, AdaptiveConfig, CanonicalTuner
+from repro.engine import Application, Simulator, pick_worker_nodes
+from repro.faults import DEFAULT_FAULT_PLAN
+from repro.memsim import FirstTouch
+from repro.perf.counters import MeasurementConfig
+from repro.topology import machine_a
+from repro.workloads import streamcluster, swaptions
+
+_QUICK = bool(os.environ.get("BWAP_BENCH_QUICK"))
+_MiB = 1 << 20
+
+
+def _tuner_active_sim(kernel: bool, *, faults=None):
+    """Machine-A co-schedule that never goes static: two effectively
+    endless applications (work far beyond the horizon) and an AdaptiveBWAP
+    whose monitor keeps re-arming after its DWP search settles — so the
+    reference path steps every epoch to the horizon while the kernel
+    strides the monitor's dormant windows. The foreground's footprint is
+    kept small so migration cost doesn't drown the epoch loop being
+    measured."""
+    mach = machine_a()
+    sim = Simulator(mach, epoch_kernel=kernel, faults=faults)
+    workers = pick_worker_nodes(mach, 2)
+    others = tuple(n for n in range(mach.num_nodes) if n not in workers)
+    bg = dataclasses.replace(swaptions(), work_bytes=1e15)
+    fg = dataclasses.replace(streamcluster(), work_bytes=1e15, shared_bytes=32 * _MiB)
+    sim.add_app(Application("bg", bg, mach, others, policy=FirstTouch()))
+    app = sim.add_app(Application("fg", fg, mach, workers, policy=None))
+    tuner = sim.add_tuner(
+        AdaptiveBWAP(
+            app,
+            CanonicalTuner(mach).weights(workers),
+            config=AdaptiveConfig(check_interval_s=5.0),
+            measurement=MeasurementConfig(n=6, c=1, t=0.1),
+            warmup_s=0.2,
+        )
+    )
+    return sim, tuner
+
+
+def _run(kernel: bool, *, faults=None, max_time: float = 300.0):
+    sim, tuner = _tuner_active_sim(kernel, faults=faults)
+    t0 = time.perf_counter()
+    res = sim.run(max_time=max_time)
+    wall = time.perf_counter() - t0
+    return sim, tuner, res, wall
+
+
+def _assert_bitwise_equal(on, off):
+    """Every observable of the two runs must be bit-for-bit identical."""
+    sim_on, tuner_on, res_on, _ = on
+    sim_off, tuner_off, res_off, _ = off
+    assert res_on.sim_time == res_off.sim_time
+    assert res_on.execution_times == res_off.execution_times
+    assert res_on.telemetry == res_off.telemetry
+    assert res_on.migration == res_off.migration
+    assert res_on.final_allocation == res_off.final_allocation
+    assert sim_on.epoch == sim_off.epoch
+    assert sim_on.counters._apps == sim_off.counters._apps
+    assert (
+        sim_on.counters._rng.bit_generator.state
+        == sim_off.counters._rng.bit_generator.state
+    )
+    traj_on = [
+        (s.time_s, s.dwp, s.stall_rate, s.accepted)
+        for s in (tuner_on._inner.trajectory if tuner_on._inner else [])
+    ]
+    traj_off = [
+        (s.time_s, s.dwp, s.stall_rate, s.accepted)
+        for s in (tuner_off._inner.trajectory if tuner_off._inner else [])
+    ]
+    assert traj_on == traj_off
+    assert tuner_on.state is tuner_off.state
+    assert tuner_on.searches_started == tuner_off.searches_started
+
+
+def _run_both():
+    # Warm both paths first (imports, machine tables, numpy dispatch) so
+    # the timed runs measure the epoch loop, not one-time setup.
+    for kernel in (True, False):
+        sim, _ = _tuner_active_sim(kernel)
+        sim.run(max_time=30.0)
+    on = _run(True)
+    off = _run(False)
+    _assert_bitwise_equal(on, off)
+    sim_on, _, _, on_wall = on
+    sim_off, _, _, off_wall = off
+    return {
+        "epochs": sim_on.epoch,
+        "on_eps": sim_on.epoch / on_wall,
+        "off_eps": sim_off.epoch / off_wall,
+    }
+
+
+class BenchEpochKernel:
+    def test_epochs_per_second(self, benchmark, once, capsys):
+        r = once(benchmark, _run_both)
+        speedup = r["on_eps"] / r["off_eps"]
+        with capsys.disabled():
+            print()
+            print("Epoch kernel on a tuner-active DWP run (machine A, 300 s sim):")
+            print(f"  kernel on : {r['epochs']} epochs @ {r['on_eps']:8.0f} eps")
+            print(f"  kernel off: {r['epochs']} epochs @ {r['off_eps']:8.0f} eps")
+            print(f"  speedup   : {speedup:.2f}x")
+        # The headline claim: >= 3x epochs/sec with the kernel on.
+        if not _QUICK:
+            assert speedup >= 3.0
+
+    def test_bitwise_equal_under_faults(self):
+        # Full-intensity fault plan: phase shocks, link faults, counter
+        # noise, and migration faults all active. The kernel must clamp
+        # its strides at every fault-window edge and stay exact.
+        on = _run(True, faults=DEFAULT_FAULT_PLAN, max_time=40.0)
+        off = _run(False, faults=DEFAULT_FAULT_PLAN, max_time=40.0)
+        _assert_bitwise_equal(on, off)

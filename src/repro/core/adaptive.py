@@ -31,7 +31,7 @@ import numpy as np
 
 from repro.core.dwp import DWPTuner
 from repro.engine.app import Application
-from repro.engine.sim import Simulator, Tuner
+from repro.engine.sim import Simulator, Tuner, wake_epoch_at
 from repro.perf.counters import MeasurementConfig
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -189,6 +189,25 @@ class AdaptiveBWAP(Tuner):
         # armed for phase changes, so the simulation must keep stepping at
         # epoch granularity rather than fast-forwarding to completion.
         return False
+
+    def next_wake_epoch(self, sim: Simulator) -> Optional[int]:
+        """Stride hint mirroring :meth:`on_epoch`'s gates exactly.
+
+        A finished app never acts again; while TUNING the inner climb's
+        own hint applies (the settled check after its no-op call reads but
+        never writes state); WAITING/MONITORING sleep until
+        ``_next_check``. The epoch kernel may therefore stride over the
+        monitor's dormant windows without perturbing a single observation.
+        """
+        if self.app.finished:
+            return None
+        if self.state is AdaptiveState.TUNING:
+            assert self._inner is not None
+            if self._inner.is_settled():
+                return sim.epoch
+            wake = self._inner.next_wake_epoch(sim)
+            return sim.epoch if wake is None else wake
+        return wake_epoch_at(sim, self._next_check)
 
     @property
     def final_dwp(self) -> Optional[float]:

@@ -24,7 +24,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.engine.app import Application
-from repro.engine.sim import Simulator, Tuner
+from repro.engine.sim import Simulator, Tuner, wake_epoch_at
 from repro.perf.counters import MeasurementConfig
 
 
@@ -218,6 +218,22 @@ class DWPTuner(Tuner):
 
     def is_settled(self) -> bool:
         return self._phase is _Phase.DONE
+
+    def next_wake_epoch(self, sim: Simulator) -> Optional[int]:
+        """Stride hint: this tuner is a pure no-op until ``_next_action``.
+
+        Every decision point (both the plain climb and the co-scheduled
+        stage machine, hardened or not) is gated by
+        ``sim.now < self._next_action`` — between decisions ``on_epoch``
+        returns before touching any state, counter or RNG. The only
+        wrinkle is a finished app: the *next* call flips the phase to
+        DONE, a real state change, so it must run as a regular epoch.
+        """
+        if self._phase is _Phase.DONE:
+            return None
+        if self.app.finished:
+            return sim.epoch
+        return wake_epoch_at(sim, self._next_action)
 
     @property
     def final_dwp(self) -> float:

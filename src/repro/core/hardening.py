@@ -257,6 +257,19 @@ class _HardenedMixin:
         self._best_stall = None
         self._worse_streak = 0
 
+    def next_wake_epoch(self, sim: Simulator) -> Optional[int]:
+        """Stride hint — the plain tuner's is exact for hardened variants.
+
+        Every defence (retry replay, watchdog rollback, SNR degradation)
+        acts inside a decision point, and retry backoffs reschedule
+        through ``_next_action`` (see :meth:`_pre_measure` and
+        :meth:`_dispatch_migration`), so the base class's
+        deadline-derived dormancy window already accounts for them. The
+        explicit delegation records that invariant: a future defence that
+        acts *between* decision points must override this hint too.
+        """
+        return super().next_wake_epoch(sim)
+
     # ------------------------------------------------------------------ #
     # Defences
     # ------------------------------------------------------------------ #

@@ -237,6 +237,33 @@ class Application:
         # zero-length epochs and then charges a full spurious epoch.
         self._remaining[node] = left if left >= 1.0 else 0.0
 
+    def max_dormant_epochs(
+        self, node_rates: Dict[int, float], dt: float, limit: int = 1 << 40
+    ) -> int:
+        """Epochs of length ``dt`` this app can advance at ``node_rates``
+        (bytes/s per worker) with its demand set provably unchanged.
+
+        The epoch kernel's stride clamp: node demands only change when a
+        worker's remaining share hits zero (or, for phased apps, when a
+        phase boundary is crossed — see the override). Conservative by one
+        full epoch plus the sub-byte snap margin in :meth:`advance`, so
+        after the stride every progressing worker still has > 1 byte left
+        and the next regular epoch recomputes demand exactly as per-epoch
+        stepping would have.
+        """
+        k = limit
+        for node, rate in node_rates.items():
+            if rate <= 0:
+                continue
+            step_bytes = rate * dt
+            if step_bytes <= 0:
+                continue
+            rem = self._remaining.get(node, 0.0)
+            k = min(k, int((rem - 1.0) / step_bytes) - 1)
+            if k <= 0:
+                return 0
+        return max(0, k)
+
     def check_finished(self, now: float) -> bool:
         """Mark completion; looping apps restart immediately."""
         if self.finished:

@@ -11,7 +11,7 @@ section targets.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.engine.app import Application
 from repro.memsim.policies import PlacementPolicy
@@ -69,3 +69,30 @@ class PhasedApplication(Application):
     def current_phase_index(self) -> int:
         """Index of the active phase."""
         return self.phased.phases.index(self.phased.phase_at(self.done_fraction))
+
+    def max_dormant_epochs(
+        self, node_rates: Dict[int, float], dt: float, limit: int = 1 << 40
+    ) -> int:
+        """Base bound, further clamped so no phase boundary is crossed.
+
+        ``phase_at`` switches specs once ``done_fraction >= boundary - 1e-12``;
+        the stride must stop at least one epoch short of that so the regular
+        per-epoch path observes the phase change exactly when per-epoch
+        stepping would have.
+        """
+        k = super().max_dormant_epochs(node_rates, dt, limit)
+        if k <= 0 or self._total_work <= 0:
+            return max(0, k)
+        done = self.done_fraction
+        nxt = None
+        for b in self.phased.boundaries():
+            if done < b - 1e-12:
+                nxt = b
+                break
+        if nxt is None:
+            return k
+        per_epoch_bytes = sum(rate * dt for rate in node_rates.values())
+        if per_epoch_bytes <= 0:
+            return k
+        gap_bytes = (nxt - 1e-12 - done) * self._total_work
+        return max(0, min(k, int(gap_bytes / per_epoch_bytes) - 1))

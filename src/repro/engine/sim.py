@@ -10,7 +10,11 @@ charged back to the application as stall time).
 
 Static scenarios fast-forward between events, so policy-comparison
 experiments are cheap; adaptive scenarios (DWP tuner, autonuma) run at the
-configured epoch granularity.
+configured epoch granularity — through the array-native epoch kernel
+(:mod:`repro.engine.kernel`) by default, which also strides over stretches
+of epochs where every tuner is provably dormant. Both paths, and the
+stride, are bitwise-identical by construction: ``Simulator(...,
+epoch_kernel=False)`` keeps the scalar reference loop for verification.
 """
 
 from __future__ import annotations
@@ -66,6 +70,46 @@ class Tuner(abc.ABC):
         """True once the tuner will make no further placement changes."""
         return False
 
+    def next_wake_epoch(self, sim: "Simulator") -> Optional[int]:
+        """Earliest epoch number at which this tuner may act again.
+
+        ``sim.epoch`` numbers the next epoch to execute. Returning
+        ``sim.epoch`` means "may act immediately" — the safe default for
+        tuners that don't implement the hint. A larger value promises that
+        every :meth:`on_epoch` call strictly before that epoch is a pure
+        no-op: no tuner-state change, no placement change, no counter or
+        RNG access. ``None`` promises the tuner never acts again. The
+        epoch kernel uses this to advance whole dormant stretches in one
+        exact multi-epoch stride; an over-optimistic hint breaks the
+        simulator's bitwise-exactness contract, so implementations must
+        derive it from the same arithmetic that gates ``on_epoch`` (see
+        :func:`wake_epoch_at`).
+        """
+        return sim.epoch
+
+
+def wake_epoch_at(sim: "Simulator", deadline: float, horizon: int = 1_000_000) -> int:
+    """Epoch number at which a time-gated tuner first acts.
+
+    For tuners whose ``on_epoch`` is a pure no-op while
+    ``sim.now < deadline``: replays the simulator's own clock accumulation
+    (``now += epoch_s`` per epoch — same floats, same order, no closed-form
+    division that could round the other way) and returns the first epoch
+    whose post-step time reaches ``deadline``. Assumes full-length epochs;
+    if the simulator actually takes shorter (clamped) steps the tuner only
+    stays dormant longer, so the hint errs dormant-side — never optimistic.
+    """
+    t = sim.now
+    dt = sim.epoch_s
+    epoch = sim.epoch
+    cap = epoch + horizon
+    while epoch < cap:
+        t = t + dt
+        if t >= deadline:
+            break
+        epoch += 1
+    return epoch
+
 
 @dataclass
 class AppTelemetry:
@@ -75,6 +119,39 @@ class AppTelemetry:
     stall_time_product: float = 0.0
     throughput_time_product: float = 0.0
     active_time: float = 0.0
+
+    def record_traffic(
+        self,
+        duration_s: float,
+        read_gbps: float,
+        write_gbps: float,
+        private_fraction: float,
+        *,
+        coalesce: bool = True,
+    ) -> None:
+        """Append one epoch's traffic observation.
+
+        With ``coalesce`` (the simulator's default), an epoch whose rates
+        are bit-identical to the previous sample's extends that sample's
+        duration instead of appending — bounding telemetry memory by the
+        number of distinct-traffic stretches rather than the epoch count.
+        Aggregates over the list (:meth:`AccessProfiler.characterise`)
+        are unchanged: only consecutive equal-rate samples merge, so every
+        time-weighted sum groups the identical terms it always had.
+        """
+        if coalesce and self.traffic:
+            last = self.traffic[-1]
+            if last.same_rates(read_gbps, write_gbps, private_fraction):
+                self.traffic[-1] = last.extended(duration_s)
+                return
+        self.traffic.append(
+            TrafficSample(
+                duration_s=duration_s,
+                read_gbps=read_gbps,
+                write_gbps=write_gbps,
+                private_fraction=private_fraction,
+            )
+        )
 
     @property
     def mean_stall_fraction(self) -> float:
@@ -125,6 +202,8 @@ class Simulator:
         solver_cache: bool = True,
         solver_cache_size: int = 128,
         faults: Optional["FaultPlan | FaultInjector"] = None,
+        epoch_kernel: bool = True,
+        coalesce_traffic: bool = True,
     ):
         if epoch_s <= 0:
             raise ValueError(f"epoch length must be positive, got {epoch_s}")
@@ -156,6 +235,19 @@ class Simulator:
         #: plus a few per-app workload scalars, so fingerprint-identical
         #: epochs skip the latency/slowdown recomputation too.
         self._derived: Optional[Tuple[object, dict, dict]] = None
+        #: Number of epochs executed so far; also the number of the next
+        #: epoch to execute. A multi-epoch stride advances it by k at once.
+        self.epoch = 0
+        #: Coalesce consecutive equal-rate TrafficSamples (run-length
+        #: telemetry). Aggregates are unchanged; turn off to get the
+        #: historical one-sample-per-epoch lists.
+        self.coalesce_traffic = coalesce_traffic
+        #: Per-app worker clock frequency, resolved once at attach time.
+        self._app_freq: Dict[str, Optional[float]] = {}
+        # The array-native epoch kernel assumes the stock LatencyModel
+        # arithmetic; a subclassed model falls back to the scalar loop.
+        self._use_kernel = bool(epoch_kernel) and type(latency_model) is LatencyModel
+        self._kernel = None
 
     # ------------------------------------------------------------------ #
     # Setup
@@ -170,6 +262,7 @@ class Simulator:
         app.start_time = self.now
         self._apps[app.app_id] = app
         self._telemetry[app.app_id] = AppTelemetry()
+        self._app_freq[app.app_id] = self._scan_worker_frequency(app)
         return app
 
     def add_tuner(self, tuner: Tuner) -> Tuner:
@@ -307,8 +400,8 @@ class Simulator:
         trackable = [a for a in self._apps.values() if not a.looping]
         return bool(trackable) and all(a.finished for a in trackable)
 
-    def _worker_frequency_ghz(self, app: Application) -> float:
-        """Clock frequency used to convert stall fractions to cycle rates.
+    def _scan_worker_frequency(self, app: Application) -> Optional[float]:
+        """First cored worker node's clock, or None if there is none.
 
         Worker sets may include memory-only nodes (CXL/NVM expanders), so
         the first worker node is not guaranteed to have cores — use the
@@ -318,13 +411,44 @@ class Simulator:
             cores = self.machine.node(w).cores
             if cores:
                 return cores[0].frequency_ghz
-        raise ValueError(
-            f"application {app.app_id!r} has no worker node with cores; "
-            f"workers={app.worker_nodes}"
-        )
+        return None
+
+    def _worker_frequency_ghz(self, app: Application) -> float:
+        """Clock frequency used to convert stall fractions to cycle rates.
+
+        Resolved once per application at attach time (machines are
+        immutable) instead of re-scanning the worker nodes every epoch.
+        """
+        try:
+            freq = self._app_freq[app.app_id]
+        except KeyError:
+            freq = self._scan_worker_frequency(app)
+        if freq is None:
+            raise ValueError(
+                f"application {app.app_id!r} has no worker node with cores; "
+                f"workers={app.worker_nodes}"
+            )
+        return freq
 
     def _step(self, deadline: float) -> None:
-        """Advance one epoch."""
+        """Advance one epoch (or one exact multi-epoch stride)."""
+        if self._use_kernel:
+            kernel = self._kernel
+            if kernel is None:
+                from repro.engine.kernel import EpochKernel
+
+                kernel = self._kernel = EpochKernel(self)
+            kernel.step(deadline)
+        else:
+            self._step_reference(deadline)
+
+    def _step_reference(self, deadline: float) -> None:
+        """Advance one epoch — the scalar reference loop.
+
+        The epoch kernel (:mod:`repro.engine.kernel`) must stay
+        bitwise-equal to this path; the property tests in
+        ``tests/test_epoch_kernel.py`` compare the two directly.
+        """
         apps = [a for a in self._apps.values() if not a.finished]
 
         # Fault-plan state for this epoch: phase shocks scale demands,
@@ -479,15 +603,15 @@ class Simulator:
             tele.throughput_time_product += throughput * dt
             tele.active_time += dt
             reads, writes = app.workload.read_write_split(throughput)
-            tele.traffic.append(
-                TrafficSample(
-                    duration_s=dt,
-                    read_gbps=reads,
-                    write_gbps=writes,
-                    private_fraction=app.workload.private_fraction,
-                )
+            tele.record_traffic(
+                dt,
+                reads,
+                writes,
+                app.workload.private_fraction,
+                coalesce=self.coalesce_traffic,
             )
             app.check_finished(self.now)
 
         for tuner in self._tuners:
             tuner.on_epoch(self)
+        self.epoch += 1

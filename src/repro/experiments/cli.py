@@ -169,6 +169,12 @@ def main(argv=None) -> int:
         "(default: serial, or the BWAP_JOBS environment variable); "
         "results are merged in order, so output is identical to serial",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run each experiment under cProfile and print the top-20 "
+        "entries by cumulative time after its output",
+    )
     args = parser.parse_args(argv)
 
     if args.jobs is not None:
@@ -178,12 +184,24 @@ def main(argv=None) -> int:
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
+        profiler = None
         t0 = time.perf_counter()
-        output = EXPERIMENTS[name]()
+        if args.profile:
+            import cProfile
+
+            profiler = cProfile.Profile()
+            output = profiler.runcall(EXPERIMENTS[name])
+        else:
+            output = EXPERIMENTS[name]()
         dt = time.perf_counter() - t0
         print(f"=== {name} ({dt:.1f}s) ===")
         print(output)
         print()
+        if profiler is not None:
+            import pstats
+
+            stats = pstats.Stats(profiler, stream=sys.stdout)
+            stats.sort_stats("cumulative").print_stats(20)
     return 0
 
 

@@ -445,6 +445,29 @@ class FaultInjector:
         )
         return min(edges) if edges else None
 
+    def stationary_epochs(self, now: float, dt: float, limit: int) -> int:
+        """Epochs of length ``dt`` from ``now`` during which no fault-window
+        edge can alter the epoch: every demand/capacity scale is constant
+        and the simulator's ``min(dt, edge - t)`` clamp stays inactive.
+
+        Replays the simulator's exact accumulation (``t += dt`` per epoch,
+        clamp inactive iff ``edge - t >= dt`` — the same float comparison,
+        same operand order), so a stride of this many epochs is
+        bit-for-bit what per-epoch stepping would have produced. Capped at
+        ``limit``.
+        """
+        edge = self.next_event_after(now)
+        if edge is None:
+            return limit
+        t = now
+        count = 0
+        while count < limit:
+            if not (edge - t >= dt):
+                break
+            t = t + dt
+            count += 1
+        return count
+
     # ------------------------------------------------------------------ #
     # Phase shocks
     # ------------------------------------------------------------------ #

@@ -153,9 +153,34 @@ class SolverCache:
         if maxsize < 1:
             raise ValueError(f"maxsize must be positive, got {maxsize}")
         self.maxsize = maxsize
-        self._entries: "OrderedDict[Hashable, Allocation]" = OrderedDict()
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+
+    def lookup(self, key: Hashable):
+        """Cached value for ``key`` (None on a miss; statistics updated).
+
+        Generic companion to :meth:`solve_keyed` for callers that cache
+        something richer than a bare :class:`Allocation` — the simulator's
+        epoch kernel stores ``(allocation, rate-row, utilization-row)``
+        tuples so fingerprint-identical epochs replay the dense arrays too.
+        One cache instance must only ever hold one kind of value.
+        """
+        hit = self._entries.get(key)
+        if hit is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return hit
+        self.misses += 1
+        return None
+
+    def store(self, key: Hashable, value) -> None:
+        """Insert ``value`` under ``key``, evicting the LRU entry past
+        ``maxsize``. Pairs with :meth:`lookup` (which already counted the
+        miss that led here)."""
+        self._entries[key] = value
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -206,16 +231,11 @@ class SolverCache:
         ``capacity_scale`` is given the caller's key must already encode it
         (the simulator folds the fault injector's scale key in).
         """
-        hit = self._entries.get(key)
+        hit = self.lookup(key)
         if hit is not None:
-            self.hits += 1
-            self._entries.move_to_end(key)
             return hit
-        self.misses += 1
         alloc = solve(machine, consumers, mc_model, capacity_scale=capacity_scale)
-        self._entries[key] = alloc
-        if len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+        self.store(key, alloc)
         return alloc
 
 
@@ -397,6 +417,45 @@ def machine_tables(machine: Machine) -> MachineTables:
         tables = MachineTables(machine)
         machine._contention_tables = tables  # type: ignore[attr-defined]
     return tables
+
+
+def latency_path_rows(machine: Machine) -> np.ndarray:
+    """``(nodes, nodes, K)`` canonical resource rows of every ``s -> w`` path.
+
+    ``latency_path_rows(m)[w, s]`` lists the rows (into
+    :attr:`MachineTables.res_keys`) whose queueing delays
+    :meth:`repro.perf.latency.LatencyModel.consumer_latency_ns` adds to an
+    access from source ``s`` by a consumer on node ``w`` — the source MC,
+    then the route's links in route order, then the destination ingress
+    port (remote paths only; omitted when ingress limiting is disabled,
+    where the scalar model reads an absent key as zero utilization).
+    Entries are padded to a common length ``K`` with ``num_res``: callers
+    gather from a per-row delay vector with a 0.0 appended, so each pad
+    contributes an exact additive zero and the vectorised sum accumulates
+    the same terms in the same order as the scalar model. Memoised on the
+    (immutable) machine.
+    """
+    cached = getattr(machine, "_latency_path_rows", None)
+    if cached is not None:
+        return cached
+    t = machine_tables(machine)
+    pair_links = _pair_link_table(machine)
+    paths: Dict[Tuple[int, int], List[int]] = {}
+    kmax = 1
+    for w in range(t.num_nodes):
+        for s in range(t.num_nodes):
+            rows = [int(t.mc_rows[s])]
+            if s != w:
+                rows.extend(t.res_index[key] for key, _ov, _cap in pair_links[(s, w)])
+                if t.ingress_rows[w] >= 0:
+                    rows.append(int(t.ingress_rows[w]))
+            paths[(w, s)] = rows
+            kmax = max(kmax, len(rows))
+    out = np.full((t.num_nodes, t.num_nodes, kmax), t.num_res, dtype=np.intp)
+    for (w, s), rows in paths.items():
+        out[w, s, : len(rows)] = rows
+    machine._latency_path_rows = out  # type: ignore[attr-defined]
+    return out
 
 
 def _axis_n_dot(A: np.ndarray, x: np.ndarray) -> np.ndarray:

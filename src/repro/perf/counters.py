@@ -12,7 +12,7 @@ untested.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -124,6 +124,26 @@ class CounterBank:
             throughput_gbps=throughput_gbps,
             per_node_stall=dict(per_node_stall or {}),
         )
+
+    def update_many(
+        self,
+        updates: Iterable[Tuple[str, float, float, Optional[Dict[int, float]]]],
+    ) -> None:
+        """Set current true counters for many applications in one call.
+
+        ``updates`` yields ``(app_id, stall_rate, throughput_gbps,
+        per_node_stall)`` tuples. Equivalent to calling :meth:`update` per
+        entry — the simulator's epoch kernel publishes every application's
+        counters for an epoch at once.
+        """
+        for app_id, stall_rate, throughput_gbps, per_node_stall in updates:
+            if stall_rate < 0 or throughput_gbps < 0:
+                raise ValueError("counter values must be non-negative")
+            self._apps[app_id] = _AppCounters(
+                stall_rate=stall_rate,
+                throughput_gbps=throughput_gbps,
+                per_node_stall=dict(per_node_stall or {}),
+            )
 
     def true_stall_rate(self, app_id: str) -> float:
         """Noise-free stall rate (for tests and analysis, not for tuners)."""

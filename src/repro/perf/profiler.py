@@ -9,7 +9,7 @@ exactly those four quantities.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterable, List
 
 from repro.units import GB, MB
@@ -17,7 +17,13 @@ from repro.units import GB, MB
 
 @dataclass(frozen=True)
 class TrafficSample:
-    """Observed traffic of one application over one simulation epoch."""
+    """Observed traffic of one application over one simulation stretch.
+
+    Historically one sample per epoch; the simulator now coalesces
+    consecutive epochs with bit-identical rates into one run-length sample
+    (see :meth:`same_rates` / :meth:`extended`), so ``duration_s`` spans
+    however many epochs the rates held.
+    """
 
     duration_s: float
     read_gbps: float
@@ -33,6 +39,25 @@ class TrafficSample:
             raise ValueError(
                 f"private_fraction must be in [0, 1], got {self.private_fraction}"
             )
+
+    def same_rates(
+        self, read_gbps: float, write_gbps: float, private_fraction: float
+    ) -> bool:
+        """True when another stretch's rates are bit-for-bit this sample's.
+
+        Exact (``==``) on purpose: a run may only absorb epochs whose
+        telemetry is identical, so splitting the run back out would
+        reproduce the original per-epoch samples exactly.
+        """
+        return (
+            self.read_gbps == read_gbps
+            and self.write_gbps == write_gbps
+            and self.private_fraction == private_fraction
+        )
+
+    def extended(self, extra_s: float) -> "TrafficSample":
+        """This sample lengthened by ``extra_s`` seconds at the same rates."""
+        return replace(self, duration_s=self.duration_s + extra_s)
 
 
 @dataclass(frozen=True)
