@@ -112,13 +112,25 @@ def _run_both():
         "epochs": sim_on.epoch,
         "on_eps": sim_on.epoch / on_wall,
         "off_eps": sim_off.epoch / off_wall,
+        "wall_s": on_wall + off_wall,
     }
 
 
 class BenchEpochKernel:
-    def test_epochs_per_second(self, benchmark, once, capsys):
+    def test_epochs_per_second(self, benchmark, once, capsys, ledger):
         r = once(benchmark, _run_both)
         speedup = r["on_eps"] / r["off_eps"]
+        ledger(
+            "epoch_kernel",
+            {
+                "epochs": r["epochs"],
+                "kernel_on_eps": r["on_eps"],
+                "kernel_off_eps": r["off_eps"],
+                "speedup": speedup,
+            },
+            guarded=("speedup",),
+            wall_s=r["wall_s"],
+        )
         with capsys.disabled():
             print()
             print("Epoch kernel on a tuner-active DWP run (machine A, 300 s sim):")

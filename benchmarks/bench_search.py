@@ -68,8 +68,20 @@ def _run_pair(workers):
 
 
 class BenchSearch:
-    def test_batched_search_speedup(self, benchmark, once, capsys):
+    def test_batched_search_speedup(self, benchmark, once, capsys, ledger):
         results = once(benchmark, lambda: [_run_pair(w) for w in _WORKER_SETS])
+        metrics = {}
+        for r in results:
+            tag = f"w{len(r['workers'])}"
+            metrics[f"speedup_{tag}"] = r["t_scalar"] / r["t_batched"]
+            metrics[f"batched_ms_{tag}"] = r["t_batched"] * 1e3
+            metrics[f"evaluations_{tag}"] = r["batched"].evaluations
+        ledger(
+            "search",
+            metrics,
+            guarded=tuple(k for k in metrics if k.startswith("speedup_")),
+            wall_s=sum(r["t_batched"] + r["t_scalar"] for r in results),
+        )
         with capsys.disabled():
             print()
             print(

@@ -89,9 +89,21 @@ def _run_both():
 
 
 class BenchSolverCache:
-    def test_epochs_per_second(self, benchmark, once, capsys):
+    def test_epochs_per_second(self, benchmark, once, capsys, ledger):
         r = once(benchmark, _run_both)
         speedup = r["on_eps"] / r["off_eps"]
+        ledger(
+            "solver_cache",
+            {
+                "epochs": r["on_epochs"],
+                "cache_on_eps": r["on_eps"],
+                "cache_off_eps": r["off_eps"],
+                "speedup": speedup,
+                "hit_rate": r["hit_rate"],
+            },
+            guarded=("speedup", "hit_rate"),
+            wall_s=r["on_epochs"] / r["on_eps"] + r["off_epochs"] / r["off_eps"],
+        )
         with capsys.disabled():
             print()
             print("Solver cache on a static co-schedule (machine A, 120 s sim):")

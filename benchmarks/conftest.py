@@ -8,11 +8,31 @@ and the printed tables plus in-bench assertions carry the reproduction
 content. Run with::
 
     pytest benchmarks/ --benchmark-only
+
+The floor-asserting benchmarks additionally feed the in-repo perf ledger:
+:func:`write_ledger` emits ``BENCH_<name>.json`` (metrics, git SHA, wall
+time) on *every* run — no flag — so the performance trajectory lives in
+the repository and ``bwap-repro bench-compare`` can fail a build on a
+regression long before a hard ``>=Nx`` floor trips. Files land next to
+the committed ledger (the repo root) by default; set ``BWAP_LEDGER_DIR``
+to divert them (CI writes to a scratch dir and diffs against the
+committed copies).
 """
 
 from __future__ import annotations
 
+import json
+import os
+import subprocess
+import tempfile
+from pathlib import Path
+
 import pytest
+
+#: Layout version of the ledger files.
+LEDGER_SCHEMA = 1
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def run_once(benchmark, fn):
@@ -24,3 +44,70 @@ def run_once(benchmark, fn):
 def once():
     """Fixture returning the single-shot benchmark runner."""
     return run_once
+
+
+def _git_sha() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def ledger_dir() -> Path:
+    """Where ledger files are written: ``BWAP_LEDGER_DIR`` or the repo root."""
+    env = os.environ.get("BWAP_LEDGER_DIR")
+    return Path(env) if env else REPO_ROOT
+
+
+def write_ledger(name: str, metrics, *, guarded=(), wall_s=None) -> Path:
+    """Emit ``BENCH_<name>.json`` atomically and return its path.
+
+    ``metrics`` is a flat dict of numbers; ``guarded`` names the
+    higher-is-better metrics ``bench-compare`` defends against regression
+    (ratios like speedups and hit rates — stable across machines, unlike
+    absolute epochs/sec, which are recorded for the trajectory but not
+    compared).
+    """
+    directory = ledger_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    unknown = [g for g in guarded if g not in metrics]
+    if unknown:
+        raise KeyError(f"guarded metrics missing from ledger {name!r}: {unknown}")
+    entry = {
+        "name": name,
+        "schema": LEDGER_SCHEMA,
+        "git_sha": _git_sha(),
+        "quick": bool(os.environ.get("BWAP_BENCH_QUICK")),
+        "wall_s": None if wall_s is None else float(wall_s),
+        "metrics": {k: float(v) for k, v in metrics.items()},
+        "guarded": list(guarded),
+    }
+    path = directory / f"BENCH_{name}.json"
+    fd, tmp = tempfile.mkstemp(prefix=f".{name}.", suffix=".tmp", dir=directory)
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(entry, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+@pytest.fixture
+def ledger():
+    """Fixture handing benchmarks the ledger writer."""
+    return write_ledger

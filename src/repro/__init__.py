@@ -81,6 +81,7 @@ from repro.core import (
     search_optimal_placement,
 )
 from repro.oslib import LibNuma, Process
+from repro.store import ResultStore, canonical_bytes, fingerprint, get_default_store
 
 __version__ = "1.0.0"
 
@@ -151,5 +152,10 @@ __all__ = [
     # oslib
     "LibNuma",
     "Process",
+    # result store
+    "ResultStore",
+    "canonical_bytes",
+    "fingerprint",
+    "get_default_store",
     "__version__",
 ]

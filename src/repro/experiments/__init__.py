@@ -19,6 +19,7 @@ from repro.experiments.common import (
     run_scenario,
     run_spec,
     run_specs,
+    scenario_fingerprint,
     set_default_jobs,
     speedups_vs,
 )
@@ -72,6 +73,7 @@ __all__ = [
     "run_scenario",
     "run_spec",
     "run_specs",
+    "scenario_fingerprint",
     "set_default_jobs",
     "speedups_vs",
     "Fig1aResult",

@@ -2,13 +2,20 @@
 
 ``bwap-repro fig1a | fig1b | fig2 | fig3ab | fig3cd | fig4 | table1 |
 table2 | ablations | all``
+
+``bwap-repro bench-compare`` diffs freshly emitted ``BENCH_*.json`` perf
+ledger files against the committed baselines and exits non-zero on a
+regression beyond tolerance.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
+from pathlib import Path
 from typing import Callable, Dict
 
 
@@ -147,8 +154,104 @@ EXPERIMENTS: Dict[str, Callable[[], str]] = {
 }
 
 
+def bench_compare_main(argv) -> int:
+    """Diff the current perf-ledger files against the committed baseline.
+
+    For every ``BENCH_*.json`` in the baseline directory, each *guarded*
+    metric (higher-is-better ratios the benchmark nominated) of the
+    current run must reach ``baseline * (1 - tolerance)``; a shortfall or
+    a missing current file fails the comparison. Unguarded metrics are
+    trajectory data and only reported.
+    """
+    parser = argparse.ArgumentParser(
+        prog="bwap-repro bench-compare",
+        description="Compare freshly emitted BENCH_*.json perf-ledger files "
+        "against the committed baselines.",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path.cwd(),
+        metavar="DIR",
+        help="directory holding the committed ledger (default: cwd)",
+    )
+    parser.add_argument(
+        "--current",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="directory holding the fresh run's ledger files "
+        "(default: the BWAP_LEDGER_DIR environment variable)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        metavar="FRACTION",
+        help="allowed relative drop in a guarded metric before failing "
+        "(default 0.5: CI runners are noisy; the committed numbers come "
+        "from quiet machines)",
+    )
+    args = parser.parse_args(argv)
+
+    current_dir = args.current
+    if current_dir is None:
+        env = os.environ.get("BWAP_LEDGER_DIR")
+        if not env:
+            parser.error("--current not given and BWAP_LEDGER_DIR not set")
+        current_dir = Path(env)
+    if not 0 <= args.tolerance < 1:
+        parser.error(f"tolerance must be in [0, 1), got {args.tolerance}")
+
+    baselines = sorted(args.baseline.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"bench-compare: no BENCH_*.json baselines in {args.baseline}")
+        return 1
+
+    failures = []
+    for base_path in baselines:
+        base = json.loads(base_path.read_text())
+        name = base.get("name", base_path.stem[len("BENCH_") :])
+        cur_path = current_dir / base_path.name
+        if not cur_path.is_file():
+            failures.append(f"{name}: no current ledger at {cur_path}")
+            continue
+        cur = json.loads(cur_path.read_text())
+        for metric in base.get("guarded", []):
+            ref = base["metrics"].get(metric)
+            got = cur.get("metrics", {}).get(metric)
+            if ref is None:
+                continue
+            if got is None:
+                failures.append(f"{name}: guarded metric {metric!r} missing")
+                continue
+            floor = ref * (1.0 - args.tolerance)
+            verdict = "ok" if got >= floor else "REGRESSION"
+            print(
+                f"  {name:>14s} {metric:<16s} baseline {ref:9.3f}  "
+                f"current {got:9.3f}  floor {floor:9.3f}  {verdict}"
+            )
+            if got < floor:
+                failures.append(
+                    f"{name}: {metric} regressed to {got:.3f} "
+                    f"(< {floor:.3f} = {ref:.3f} - {args.tolerance:.0%})"
+                )
+    if failures:
+        print("bench-compare: FAIL")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"bench-compare: ok ({len(baselines)} ledgers, tolerance "
+          f"{args.tolerance:.0%})")
+    return 0
+
+
 def main(argv=None) -> int:
     """CLI entry point."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "bench-compare":
+        return bench_compare_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="bwap-repro",
         description="Regenerate the BWAP paper's figures and tables on the "
@@ -175,8 +278,17 @@ def main(argv=None) -> int:
         help="run each experiment under cProfile and print the top-20 "
         "entries by cumulative time after its output",
     )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="bypass the content-addressed result store (recompute every "
+        "scenario; equivalent to BWAP_STORE=0)",
+    )
     args = parser.parse_args(argv)
 
+    if args.no_store:
+        # Via the environment so --jobs worker processes inherit it too.
+        os.environ["BWAP_STORE"] = "0"
     if args.jobs is not None:
         from repro.experiments.common import set_default_jobs
 
@@ -202,6 +314,13 @@ def main(argv=None) -> int:
 
             stats = pstats.Stats(profiler, stream=sys.stdout)
             stats.sort_stats("cumulative").print_stats(20)
+
+    from repro.store import get_default_store
+
+    store = get_default_store()
+    if store is not None and store.stats.lookups:
+        # stderr, so stdout stays bitwise-identical to a --no-store run.
+        print(f"result store: {store.stats.summary()}", file=sys.stderr)
     return 0
 
 

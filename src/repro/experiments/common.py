@@ -19,6 +19,13 @@ import numpy as np
 from repro.core import BWAPConfig, CanonicalTuner, bwap_init, combine_weights
 from repro.engine import Application, Simulator, pick_worker_nodes
 from repro.faults import FaultPlan
+from repro.store import (
+    SCHEMA_VERSION,
+    ResultStore,
+    canonical_bytes,
+    fingerprint,
+    get_default_store,
+)
 from repro.memsim import (
     AutoNUMA,
     CarrefourLike,
@@ -88,6 +95,41 @@ class RunOutcome:
     def speedup_over(self, baseline: "RunOutcome") -> float:
         """Speedup of this run relative to a baseline run."""
         return baseline.exec_time_s / self.exec_time_s
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-safe dict for the result store.
+
+        Every field is a Python scalar (float/int/bool/None); JSON
+        round-trips those exactly (floats serialise via ``repr``), so a
+        store-served outcome is bit-for-bit the recomputed one. Numpy
+        scalars are converted to the equal-valued Python scalar (json
+        refuses them outright).
+        """
+
+        def scalar(v):
+            if v is None or isinstance(v, bool):
+                return v
+            if isinstance(v, (int, np.integer)):
+                return int(v)
+            if isinstance(v, (float, np.floating)):
+                return float(v)
+            raise TypeError(f"non-scalar outcome field {v!r}")
+
+        return {
+            f.name: scalar(getattr(self, f.name)) for f in dataclasses.fields(self)
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "RunOutcome":
+        """Rebuild an outcome from :meth:`to_payload`; raises on a payload
+        whose keys do not match this schema (the store treats that as a
+        corrupt entry and recomputes)."""
+        names = {f.name for f in dataclasses.fields(cls)}
+        if set(payload) != names:
+            raise ValueError(
+                f"outcome payload keys {sorted(payload)} != schema {sorted(names)}"
+            )
+        return cls(**payload)
 
 
 def _make_policy(name: str, static_weights: Optional[np.ndarray]):
@@ -237,10 +279,14 @@ def derive_seed(base_seed: int, *components) -> int:
 
     Stable across processes and Python invocations (unlike ``hash()``,
     which is salted), so a parallel sweep reproduces the serial one
-    bit-for-bit.
+    bit-for-bit. Components are canonically encoded
+    (:func:`repro.store.canonical_bytes`) rather than ``repr()``-ed: a
+    large numpy array contributes its full contents — ``repr`` elides
+    everything past the print threshold, which let distinct scenarios
+    collide onto one seed — and an unsupported component type raises
+    ``TypeError`` instead of hashing an address-dependent string.
     """
-    text = repr((base_seed,) + components).encode()
-    return zlib.crc32(text) & 0x7FFFFFFF
+    return zlib.crc32(canonical_bytes((int(base_seed),) + components)) & 0x7FFFFFFF
 
 
 @dataclass(frozen=True)
@@ -273,8 +319,24 @@ class ScenarioSpec:
         return self.machine
 
 
-def run_spec(spec: ScenarioSpec) -> RunOutcome:
-    """Run one :class:`ScenarioSpec` (module-level, hence pool-mappable)."""
+def scenario_fingerprint(spec: ScenarioSpec) -> str:
+    """Canonical content fingerprint of one scenario.
+
+    Folds in everything :func:`run_spec` acts on — the resolved machine
+    topology (structurally, so ``machine="A"`` and ``machine=machine_a()``
+    key identically), every other spec field, and the store schema version
+    (the stand-in for "code-relevant config": bumping it on behavioural
+    changes retires every old entry).
+    """
+    rest = tuple(
+        (f.name, getattr(spec, f.name))
+        for f in dataclasses.fields(spec)
+        if f.name != "machine"
+    )
+    return fingerprint("bwap.run_spec", SCHEMA_VERSION, spec.resolve_machine(), rest)
+
+
+def _run_spec_cold(spec: ScenarioSpec) -> RunOutcome:
     machine = spec.resolve_machine()
     return run_scenario(
         machine,
@@ -290,6 +352,38 @@ def run_spec(spec: ScenarioSpec) -> RunOutcome:
         max_time=spec.max_time,
         faults=spec.fault_plan,
     )
+
+
+def run_spec(
+    spec: ScenarioSpec, *, store: Optional[ResultStore] = None
+) -> RunOutcome:
+    """Run one :class:`ScenarioSpec` (module-level, hence pool-mappable).
+
+    Consults the content-addressed result store first (``store`` argument,
+    else the process default — disabled via ``BWAP_STORE=0`` or the CLI's
+    ``--no-store``): a hit replays the stored :class:`RunOutcome`, bit-for-
+    bit equal to recomputing, and a miss computes then persists it, so
+    repeated sweeps and concurrent ``--jobs`` workers share results. A
+    corrupt or schema-incompatible entry is treated as a miss and
+    overwritten.
+    """
+    if store is None:
+        store = get_default_store()
+    if store is None:
+        return _run_spec_cold(spec)
+    fp = scenario_fingerprint(spec)
+    payload = store.get(fp)
+    if payload is not None:
+        try:
+            return RunOutcome.from_payload(payload)
+        except (TypeError, ValueError):
+            # Valid JSON, wrong shape (e.g. hand-edited): recompute.
+            store.stats.hits -= 1
+            store.stats.misses += 1
+            store.stats.corrupt += 1
+    outcome = _run_spec_cold(spec)
+    store.put(fp, outcome.to_payload())
+    return outcome
 
 
 def run_specs(

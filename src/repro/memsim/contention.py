@@ -177,8 +177,12 @@ class SolverCache:
     def store(self, key: Hashable, value) -> None:
         """Insert ``value`` under ``key``, evicting the LRU entry past
         ``maxsize``. Pairs with :meth:`lookup` (which already counted the
-        miss that led here)."""
+        miss that led here). Re-storing an existing key refreshes its
+        recency — dict assignment alone keeps the old insertion order, and
+        a freshly overwritten entry must not remain first in line for
+        eviction."""
         self._entries[key] = value
+        self._entries.move_to_end(key)
         if len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
 

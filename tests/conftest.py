@@ -7,10 +7,18 @@ across tests is safe and keeps the suite fast.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core import CanonicalTuner
 from repro.topology import dual_socket, fully_connected, machine_a, machine_b, mesh, ring
+
+# The persistent result store must not leak state between test runs (a
+# stale entry from an older code version would mask a behaviour change
+# the suite should catch), so tests run store-off; store tests opt back
+# in against a tmp_path root via monkeypatch.
+os.environ["BWAP_STORE"] = "0"
 
 
 @pytest.fixture(scope="session")

@@ -111,6 +111,28 @@ class TestDeriveSeed:
         )
         assert out.exec_time_s > 0
 
+    def test_large_arrays_do_not_collide(self):
+        """Regression: the repr()-based fingerprint truncated large numpy
+        components past the print threshold, so scenarios differing only
+        in the elided middle collided onto one seed."""
+        a = np.zeros(5000)
+        b = np.zeros(5000)
+        b[2500] = 1e-12
+        assert repr(a) == repr(b)  # the old encoding saw no difference
+        assert derive_seed(1, a) != derive_seed(1, b)
+        assert derive_seed(1, a) == derive_seed(1, np.zeros(5000))
+
+    def test_unsupported_component_types_raise(self):
+        with pytest.raises(TypeError):
+            derive_seed(1, object())
+        with pytest.raises(TypeError):
+            derive_seed(1, {"set", "unordered"})
+
+    def test_mixed_supported_components(self):
+        s = derive_seed(3, "label", 2.5, (1, "x"), None, np.arange(4))
+        assert s == derive_seed(3, "label", 2.5, (1, "x"), None, np.arange(4))
+        assert s != derive_seed(3, "label", 2.5, (1, "x"), None, np.arange(5))
+
 
 class TestCliJobsFlag:
     def test_jobs_flag_sets_default(self, capsys):

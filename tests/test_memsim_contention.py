@@ -274,6 +274,22 @@ class TestSolverCache:
         with pytest.raises(ValueError):
             SolverCache(maxsize=0)
 
+    def test_restore_refreshes_recency(self):
+        """Re-storing an existing key must move it to the MRU end:
+        with insertion-order recency a refreshed entry kept its stale
+        position and was evicted immediately after being overwritten."""
+        from repro.memsim.contention import SolverCache
+
+        cache = SolverCache(maxsize=2)
+        cache.store("k1", "v1")
+        cache.store("k2", "v2")
+        cache.store("k1", "v1-refreshed")  # overwrite: now the MRU entry
+        cache.store("k3", "v3")  # evicts k2, the true LRU — not k1
+        assert cache.lookup("k1") == "v1-refreshed"
+        assert cache.lookup("k3") == "v3"
+        assert cache.lookup("k2") is None
+        assert len(cache) == 2
+
     def test_property_cached_equals_fresh(self, mach_a):
         """Cached and freshly-solved allocations agree exactly on randomly
         generated consumer sets (the solve is pure, so replay is exact)."""

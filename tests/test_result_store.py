@@ -1,0 +1,326 @@
+"""The content-addressed result store: fingerprints, atomicity, corruption
+tolerance, schema invalidation, and the bitwise store-vs-recompute
+guarantee on real experiment runs."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+import repro.experiments.common as common
+import repro.store as store_mod
+from repro.experiments.common import (
+    RunOutcome,
+    ScenarioSpec,
+    run_spec,
+    run_specs,
+    scenario_fingerprint,
+)
+from repro.faults import DEFAULT_FAULT_PLAN
+from repro.store import ResultStore, canonical_bytes, fingerprint, get_default_store
+from repro.topology import fully_connected, machine_a
+from repro.workloads import paper_benchmarks, streamcluster
+
+
+def small_spec(**overrides) -> ScenarioSpec:
+    wl = dataclasses.replace(streamcluster(), work_bytes=15e9)
+    defaults = dict(
+        machine="A", workload=wl, num_workers=2, policy="uniform-all", seed=11
+    )
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+# --------------------------------------------------------------------- #
+# Canonical fingerprinting
+# --------------------------------------------------------------------- #
+
+
+class TestCanonicalBytes:
+    def test_type_tags_prevent_cross_type_collisions(self):
+        distinct = [None, True, False, 1, 0, 1.0, "1", b"1", (1,), [1, 2], {"a": 1}]
+        encodings = [canonical_bytes(v) for v in distinct]
+        assert len(set(encodings)) == len(distinct)
+
+    def test_nesting_is_unambiguous(self):
+        assert canonical_bytes(((1, 2), 3)) != canonical_bytes((1, (2, 3)))
+        assert canonical_bytes(("ab",)) != canonical_bytes(("a", "b"))
+
+    def test_dict_order_is_canonical(self):
+        assert canonical_bytes({"a": 1, "b": 2}) == canonical_bytes({"b": 2, "a": 1})
+
+    def test_float_bits_encoded(self):
+        # 0.0 == -0.0 under ==, but the simulator can observe the sign.
+        assert canonical_bytes(0.0) != canonical_bytes(-0.0)
+        assert canonical_bytes(float("nan")) == canonical_bytes(float("nan"))
+
+    def test_numpy_arrays_fully_encoded(self):
+        a = np.zeros(5000)
+        b = np.zeros(5000)
+        b[2500] = 1e-9  # invisible to repr(): both print as truncated zeros
+        assert repr(a) == repr(b)
+        assert canonical_bytes(a) != canonical_bytes(b)
+        # dtype and shape are part of the identity, not just the bytes.
+        assert canonical_bytes(np.zeros(4, dtype=np.float32)) != canonical_bytes(
+            np.zeros(4, dtype=np.float64)
+        )
+        assert canonical_bytes(np.zeros((2, 2))) != canonical_bytes(np.zeros(4))
+
+    def test_dataclasses_and_machines(self):
+        spec_a = small_spec()
+        spec_b = small_spec(seed=12)
+        assert canonical_bytes(spec_a) == canonical_bytes(small_spec())
+        assert canonical_bytes(spec_a) != canonical_bytes(spec_b)
+        # Structural machine encoding: two independent constructions of
+        # the same topology agree; a different topology does not.
+        assert canonical_bytes(machine_a()) == canonical_bytes(machine_a())
+        assert canonical_bytes(machine_a()) != canonical_bytes(
+            fully_connected(2, cores_per_node=4, local_bw=20.0, remote_bw=10.0)
+        )
+
+    def test_unsupported_types_raise(self):
+        with pytest.raises(TypeError):
+            canonical_bytes(object())
+        with pytest.raises(TypeError):
+            canonical_bytes({1, 2})
+
+    def test_scenario_fingerprint_resolves_machine_names(self):
+        by_name = scenario_fingerprint(small_spec())
+        by_object = scenario_fingerprint(small_spec(machine=machine_a()))
+        assert by_name == by_object
+        assert by_name != scenario_fingerprint(small_spec(seed=12))
+        assert by_name != scenario_fingerprint(
+            small_spec(fault_plan=DEFAULT_FAULT_PLAN)
+        )
+
+
+# --------------------------------------------------------------------- #
+# The store itself
+# --------------------------------------------------------------------- #
+
+
+class TestResultStore:
+    def test_roundtrip_and_stats(self, tmp_path):
+        store = ResultStore(tmp_path)
+        fp = fingerprint("x")
+        assert store.get(fp) is None
+        store.put(fp, {"value": 1.25})
+        assert store.get(fp) == {"value": 1.25}
+        assert store.stats.hits == 1 and store.stats.misses == 1
+        assert store.stats.puts == 1
+        assert store.stats.hit_rate == pytest.approx(0.5)
+        assert len(store) == 1
+        assert store.clear() == 1
+        assert store.get(fp) is None
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            b"",  # empty file
+            b"\x00\xff garbage",  # not JSON at all
+            b'{"schema": 1, "fingerprint": "abc", "payload": {"a"',  # truncated
+            b"[1, 2, 3]",  # JSON, wrong shape
+            b'{"schema": 999, "fingerprint": "FP", "payload": {}}',  # stale schema
+            b'{"schema": 1, "fingerprint": "other", "payload": {}}',  # misplaced
+            b'{"schema": 1, "fingerprint": "FP", "payload": 7}',  # non-dict payload
+        ],
+    )
+    def test_corrupt_entries_are_misses(self, tmp_path, raw):
+        store = ResultStore(tmp_path)
+        fp = fingerprint("corrupt-case")
+        path = store.path_for(fp)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(raw.replace(b"FP", fp.encode()))
+        assert store.get(fp) is None
+        assert store.stats.misses == 1
+        # A recompute-and-put then heals the entry in place.
+        store.put(fp, {"ok": True})
+        assert store.get(fp) == {"ok": True}
+
+    def test_concurrent_writers_never_expose_partial_entries(self, tmp_path):
+        """Racing writers on one key (the --jobs scenario): atomic rename
+        means a reader sees a complete entry from some writer, never a
+        torn file."""
+        store = ResultStore(tmp_path)
+        fp = fingerprint("contended-key")
+        stop = threading.Event()
+        seen = []
+
+        def writer(i):
+            w = ResultStore(tmp_path)
+            for round_no in range(40):
+                w.put(fp, {"writer": i, "round": round_no, "pad": "x" * 4096})
+
+        def reader():
+            r = ResultStore(tmp_path)
+            while not stop.is_set():
+                payload = r.get(fp)
+                if payload is not None:
+                    seen.append(payload)
+            assert r.stats.corrupt == 0
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            readers = [pool.submit(reader) for _ in range(2)]
+            writers = [pool.submit(writer, i) for i in range(4)]
+            for w in writers:
+                w.result()
+            stop.set()
+            for r in readers:
+                r.result()
+
+        assert seen, "readers never observed a committed entry"
+        for payload in seen:
+            assert set(payload) == {"writer", "round", "pad"}
+            assert len(payload["pad"]) == 4096
+        # Last writer wins: the surviving entry is one complete payload.
+        final = store.get(fp)
+        assert final is not None and set(final) == {"writer", "round", "pad"}
+
+    def test_schema_version_bump_invalidates_old_entries(
+        self, tmp_path, monkeypatch
+    ):
+        store = ResultStore(tmp_path)
+        spec = small_spec()
+        old_fp = scenario_fingerprint(spec)
+        store.put(old_fp, {"stale": True})
+
+        monkeypatch.setattr(store_mod, "SCHEMA_VERSION", 2)
+        monkeypatch.setattr(common, "SCHEMA_VERSION", 2)
+        # The fingerprint moves, so the old entry is simply never keyed...
+        new_fp = scenario_fingerprint(spec)
+        assert new_fp != old_fp
+        assert store.get(new_fp) is None
+        # ...and even a direct read of the old key rejects the old layout.
+        assert store.get(old_fp) is None
+        assert store.stats.corrupt == 1
+
+
+# --------------------------------------------------------------------- #
+# run_spec wiring: hits, bitwise equality, gating
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture
+def live_store(tmp_path, monkeypatch):
+    """An enabled process-default store rooted in tmp_path."""
+    monkeypatch.setenv("BWAP_STORE", "1")
+    monkeypatch.setenv("BWAP_STORE_DIR", str(tmp_path / "store"))
+    return get_default_store()
+
+
+class TestRunSpecStore:
+    def test_store_served_outcome_is_bitwise_identical(self, live_store):
+        spec = small_spec()
+        cold = common._run_spec_cold(spec)
+        first = run_spec(spec)
+        second = run_spec(spec)
+        assert live_store.stats.hits == 1 and live_store.stats.misses == 1
+        for outcome in (first, second):
+            assert outcome == cold
+            assert outcome.to_payload() == cold.to_payload()
+            assert json.dumps(outcome.to_payload(), sort_keys=True) == json.dumps(
+                cold.to_payload(), sort_keys=True
+            )
+
+    def test_disabled_store_writes_nothing(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("BWAP_STORE", "0")
+        monkeypatch.setenv("BWAP_STORE_DIR", str(tmp_path / "store"))
+        assert get_default_store() is None
+        run_spec(small_spec())
+        assert not (tmp_path / "store").exists()
+
+    def test_wrong_shape_payload_recomputed(self, live_store):
+        spec = small_spec()
+        fp = scenario_fingerprint(spec)
+        live_store.put(fp, {"not": "an outcome"})
+        outcome = run_spec(spec)
+        assert outcome == common._run_spec_cold(spec)
+        assert live_store.stats.corrupt == 1
+        # The healed entry now serves hits.
+        assert run_spec(spec) == outcome
+
+    def test_explicit_store_argument_overrides_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("BWAP_STORE", "0")
+        store = ResultStore(tmp_path / "explicit")
+        spec = small_spec()
+        a = run_spec(spec, store=store)
+        b = run_spec(spec, store=store)
+        assert a == b
+        assert store.stats.hits == 1 and store.stats.puts == 1
+
+    def test_outcome_payload_rejects_bad_keys(self):
+        with pytest.raises(ValueError):
+            RunOutcome.from_payload({"exec_time_s": 1.0})
+
+    def test_parallel_workers_share_the_store(self, live_store):
+        """A --jobs fan-out populates the store across processes; the
+        repeat run is served entirely from disk and agrees bitwise."""
+        specs = [small_spec(seed=s) for s in (1, 2, 3, 4)]
+        first = run_specs(specs, jobs=2)
+        # Worker processes wrote their results; this process saw none.
+        assert len(live_store) == len(specs)
+        second = run_specs(specs, jobs=1)
+        assert live_store.stats.hits >= len(specs)
+        assert first == second
+        for f, s in zip(first, second):
+            assert f.to_payload() == s.to_payload()
+
+    def test_table1_suite_with_faults_bitwise(self, live_store):
+        """Across the Table-I suite with fault injection, store-served
+        outcomes are bitwise-identical to cold recomputes."""
+        specs = [
+            small_spec(
+                workload=dataclasses.replace(wl, work_bytes=15e9),
+                policy="bwap",
+                fault_plan=dataclasses.replace(DEFAULT_FAULT_PLAN, seed=3),
+            )
+            for wl in paper_benchmarks()
+        ]
+        warm_miss = run_specs(specs)  # populates
+        warm_hit = run_specs(specs)  # served from disk
+        cold = [common._run_spec_cold(s) for s in specs]
+        assert warm_hit == warm_miss == cold
+        for w, c in zip(warm_hit, cold):
+            assert w.to_payload() == c.to_payload()
+        assert live_store.stats.hits == len(specs)
+
+
+class TestFaultMatrixThroughStore:
+    def test_repeat_run_mostly_hits_and_output_identical(
+        self, tmp_path, monkeypatch
+    ):
+        """The acceptance scenario: a repeated quick fault-matrix is
+        served >= 90% from the store and renders bitwise-identically to a
+        store-off run."""
+        from repro.experiments.fault_matrix import run_fault_matrix
+
+        monkeypatch.setenv("BWAP_STORE", "0")
+        reference = run_fault_matrix(quick=True).render()
+
+        monkeypatch.setenv("BWAP_STORE", "1")
+        monkeypatch.setenv("BWAP_STORE_DIR", str(tmp_path / "store"))
+        store = get_default_store()
+        first = run_fault_matrix(quick=True).render()
+        lookups_before = store.stats.lookups
+        hits_before = store.stats.hits
+        second = run_fault_matrix(quick=True).render()
+        lookups = store.stats.lookups - lookups_before
+        hits = store.stats.hits - hits_before
+        assert lookups > 0
+        assert hits / lookups >= 0.90
+        assert first == second == reference
+
+
+def test_env_gating_values(monkeypatch):
+    for off in ("0", "off", "FALSE", "no", ""):
+        monkeypatch.setenv("BWAP_STORE", off)
+        assert get_default_store() is None
+    monkeypatch.setenv("BWAP_STORE", "1")
+    monkeypatch.setenv("BWAP_STORE_DIR", str(os.devnull) + "-unused-dir")
+    assert get_default_store() is not None
