@@ -248,6 +248,11 @@ class Simulator:
         # arithmetic; a subclassed model falls back to the scalar loop.
         self._use_kernel = bool(epoch_kernel) and type(latency_model) is LatencyModel
         self._kernel = None
+        #: True once :meth:`start` has run; tuners attached afterwards get
+        #: their ``on_start`` immediately (fleet machines admit apps and
+        #: tuners mid-flight).
+        self._started = False
+        self._tuners_started = 0
 
     # ------------------------------------------------------------------ #
     # Setup
@@ -266,8 +271,15 @@ class Simulator:
         return app
 
     def add_tuner(self, tuner: Tuner) -> Tuner:
-        """Attach an on-line tuner."""
+        """Attach an on-line tuner.
+
+        On a started simulator (incremental stepping via :meth:`step_to`)
+        the tuner's ``on_start`` hook fires immediately, exactly as it
+        would have at :meth:`start` time.
+        """
         self._tuners.append(tuner)
+        if self._started:
+            self.start()
         return tuner
 
     def app(self, app_id: str) -> Application:
@@ -365,18 +377,36 @@ class Simulator:
     # Main loop
     # ------------------------------------------------------------------ #
 
-    def run(self, max_time: float = 36000.0) -> SimResult:
-        """Advance until every non-looping app finishes (or ``max_time``)."""
-        if max_time <= 0:
-            raise ValueError(f"max_time must be positive, got {max_time}")
-        if not self._apps:
-            raise RuntimeError("no applications registered")
-        for tuner in self._tuners:
+    def start(self) -> None:
+        """Idempotently start the simulation: fire pending ``on_start`` hooks.
+
+        :meth:`run` calls this itself; incremental drivers (the fleet
+        layer) call it once and then advance via :meth:`step_to`. Tuners
+        attached after the first call get their hook at attach time, so
+        every tuner sees exactly one ``on_start`` either way.
+        """
+        self._started = True
+        while self._tuners_started < len(self._tuners):
+            tuner = self._tuners[self._tuners_started]
+            self._tuners_started += 1
             tuner.on_start(self)
 
-        deadline = self.now + max_time
+    def step_to(self, deadline: float) -> None:
+        """Advance epochs until all non-looping apps finish or ``deadline``.
+
+        This is :meth:`run`'s loop exposed for incremental use: one long
+        ``run(max_time)`` and a chain of ``step_to`` calls visit the same
+        stopping conditions, and a ``step_to`` chain whose boundaries fall
+        where the loop pauses anyway (an idle machine between arrivals) is
+        bitwise-identical to the single long run. A deadline landing
+        mid-epoch clamps that epoch's time step, exactly as ``run``'s own
+        deadline does. With no applications registered the call is a no-op
+        (the fleet clock, not this simulator, owns idle time).
+        """
+        if not self._started:
+            raise RuntimeError("call start() before step_to()")
         for _ in range(_MAX_EPOCHS):
-            if self._all_done():
+            if not self._apps or self._all_done():
                 break
             if self.now >= deadline:
                 break
@@ -384,6 +414,8 @@ class Simulator:
         else:  # pragma: no cover - defensive
             raise RuntimeError(f"simulation exceeded {_MAX_EPOCHS} epochs")
 
+    def snapshot(self) -> SimResult:
+        """The current :class:`SimResult` view (what :meth:`run` returns)."""
         return SimResult(
             sim_time=self.now,
             execution_times={
@@ -395,6 +427,16 @@ class Simulator:
             migration={aid: self.migration.stats(aid) for aid in self._apps},
             final_allocation=self._last_allocation,
         )
+
+    def run(self, max_time: float = 36000.0) -> SimResult:
+        """Advance until every non-looping app finishes (or ``max_time``)."""
+        if max_time <= 0:
+            raise ValueError(f"max_time must be positive, got {max_time}")
+        if not self._apps:
+            raise RuntimeError("no applications registered")
+        self.start()
+        self.step_to(self.now + max_time)
+        return self.snapshot()
 
     def _all_done(self) -> bool:
         trackable = [a for a in self._apps.values() if not a.looping]

@@ -136,7 +136,14 @@ def _ablations() -> str:
     return "\n\n".join(parts)
 
 
+def _fleet() -> str:
+    from repro.experiments.fleet import run_fleet
+
+    return run_fleet().render()
+
+
 EXPERIMENTS: Dict[str, Callable[[], str]] = {
+    "fleet": _fleet,
     "fig1a": _fig1a,
     "fig1b": _fig1b,
     "fig2": _fig2,
@@ -246,12 +253,74 @@ def bench_compare_main(argv) -> int:
     return 0
 
 
+def store_prune_main(argv) -> int:
+    """Evict old or excess entries from the content-addressed store.
+
+    Pruned entries become clean misses: the next run recomputes and
+    rewrites them, so pruning only trades disk for compute.
+    """
+    parser = argparse.ArgumentParser(
+        prog="bwap-repro store-prune",
+        description="Prune the content-addressed result store by age "
+        "and/or total size.",
+    )
+    parser.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        metavar="DAYS",
+        help="evict entries older than this many days",
+    )
+    parser.add_argument(
+        "--max-size-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="after the age pass, evict oldest entries until the store "
+        "fits in this many megabytes",
+    )
+    parser.add_argument(
+        "--dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="store root (default: BWAP_STORE_DIR, else the user cache)",
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be pruned without deleting anything",
+    )
+    args = parser.parse_args(argv)
+    if args.max_age_days is None and args.max_size_mb is None:
+        parser.error("give --max-age-days and/or --max-size-mb")
+    if args.max_age_days is not None and args.max_age_days < 0:
+        parser.error("--max-age-days must be >= 0")
+    if args.max_size_mb is not None and args.max_size_mb < 0:
+        parser.error("--max-size-mb must be >= 0")
+
+    from repro.store import ResultStore, default_store_root
+
+    root = args.dir if args.dir is not None else default_store_root()
+    store = ResultStore(root)
+    stats = store.prune(
+        max_age_s=None if args.max_age_days is None else args.max_age_days * 86400.0,
+        max_bytes=None if args.max_size_mb is None else int(args.max_size_mb * 1e6),
+        dry_run=args.dry_run,
+    )
+    verb = "store-prune (dry run):" if args.dry_run else "store-prune:"
+    print(f"{verb} {root}: {stats.summary()}")
+    return 0
+
+
 def main(argv=None) -> int:
     """CLI entry point."""
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "bench-compare":
         return bench_compare_main(argv[1:])
+    if argv and argv[0] == "store-prune":
+        return store_prune_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="bwap-repro",
         description="Regenerate the BWAP paper's figures and tables on the "
@@ -284,11 +353,24 @@ def main(argv=None) -> int:
         help="bypass the content-addressed result store (recompute every "
         "scenario; equivalent to BWAP_STORE=0)",
     )
+    parser.add_argument(
+        "--heartbeat",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="print sweep progress (completed/total, store hit rate) to "
+        "stderr every SECONDS; stdout and results are unaffected "
+        "(equivalent to BWAP_HEARTBEAT=SECONDS)",
+    )
     args = parser.parse_args(argv)
 
     if args.no_store:
         # Via the environment so --jobs worker processes inherit it too.
         os.environ["BWAP_STORE"] = "0"
+    if args.heartbeat is not None:
+        if args.heartbeat <= 0:
+            parser.error("--heartbeat must be a positive number of seconds")
+        os.environ["BWAP_HEARTBEAT"] = str(args.heartbeat)
     if args.jobs is not None:
         from repro.experiments.common import set_default_jobs
 

@@ -9,10 +9,12 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import sys
+import time
 import zlib
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar, Union
 
 import numpy as np
 
@@ -206,6 +208,45 @@ def run_scenario(
             )
         )
 
+    _app, tuner = deploy_app(
+        sim,
+        "B",
+        workload,
+        workers,
+        policy,
+        canonical=canonical,
+        num_threads=num_threads,
+        static_weights=static_weights,
+        static_dwp=static_dwp,
+        bwap_config=bwap_config,
+        high_priority_app_id=a_id,
+    )
+    result = sim.run(max_time=max_time)
+    return outcome_for_app(result, "B", tuner)
+
+
+def deploy_app(
+    sim: Simulator,
+    app_id: str,
+    workload: WorkloadSpec,
+    workers: Sequence[int],
+    policy: str,
+    *,
+    canonical: CanonicalTuner,
+    num_threads: Optional[int] = None,
+    static_weights: Optional[np.ndarray] = None,
+    static_dwp: Optional[float] = None,
+    bwap_config: Optional[BWAPConfig] = None,
+    high_priority_app_id: Optional[str] = None,
+):
+    """Deploy one measured application under a named policy.
+
+    Adds the :class:`Application` (and, for ``bwap``/``bwap-uniform``, its
+    DWP tuner) to ``sim`` and returns ``(app, tuner)``. This is the body
+    of :func:`run_scenario`'s deployment, factored out so the fleet's
+    simulator-backed machines admit arriving apps through the identical
+    code path — the 1-machine-fleet reduction property rests on it.
+    """
     if policy == "bwap-static":
         if static_dwp is None:
             raise ValueError("policy 'bwap-static' requires static_dwp")
@@ -216,7 +257,12 @@ def run_scenario(
 
     app = sim.add_app(
         Application(
-            "B", workload, machine, workers, num_threads=num_threads, policy=app_policy
+            app_id,
+            workload,
+            sim.machine,
+            tuple(workers),
+            num_threads=num_threads,
+            policy=app_policy,
         )
     )
 
@@ -230,14 +276,17 @@ def run_scenario(
             app,
             canonical_tuner=canonical,
             config=config,
-            high_priority_app_id=a_id,
+            high_priority_app_id=high_priority_app_id,
         )
+    return app, tuner
 
-    result = sim.run(max_time=max_time)
-    tele = result.telemetry["B"]
-    migration = result.migration["B"]
+
+def outcome_for_app(result, app_id: str, tuner) -> RunOutcome:
+    """Fold one app's results out of a ``SimResult`` into a :class:`RunOutcome`."""
+    tele = result.telemetry[app_id]
+    migration = result.migration[app_id]
     return RunOutcome(
-        exec_time_s=result.execution_time("B"),
+        exec_time_s=result.execution_time(app_id),
         mean_stall=tele.mean_stall_fraction,
         throughput_gbps=tele.mean_throughput_gbps,
         pages_moved=migration.pages_moved,
@@ -386,6 +435,90 @@ def run_spec(
     return outcome
 
 
+class Heartbeat:
+    """Opt-in stderr progress reporting for long sweeps.
+
+    Enabled by setting ``BWAP_HEARTBEAT`` to a positive interval in
+    seconds (the CLI's ``--heartbeat`` flag sets it); otherwise every call
+    is a no-op, so default runs are byte-identical on both streams.
+    Writes only to stderr — stdout and all computed results are untouched,
+    and determinism is unaffected (the heartbeat reads the wall clock but
+    feeds nothing back into the runs). In serial sweeps the line includes
+    the result-store hit rate; parallel workers accumulate store
+    statistics in their own processes, so there the line carries
+    completed/total only.
+    """
+
+    def __init__(self, total: int, label: str = "run_specs"):
+        raw = os.environ.get("BWAP_HEARTBEAT", "")
+        try:
+            interval = float(raw) if raw else 0.0
+        except ValueError:
+            interval = 0.0
+        self.interval = interval
+        self.total = total
+        self.label = label
+        self.enabled = interval > 0 and total > 0
+        self._last = time.monotonic()
+
+    def beat(self, done: int) -> None:
+        """Emit a progress line if due (always on the final item)."""
+        if not self.enabled:
+            return
+        now = time.monotonic()
+        if done < self.total and now - self._last < self.interval:
+            return
+        self._last = now
+        extra = ""
+        store = get_default_store()
+        if store is not None and store.stats.lookups:
+            extra = f", store {store.stats.summary()}"
+        print(f"[{self.label}] {done}/{self.total}{extra}", file=sys.stderr)
+
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def fan_out(
+    fn: Callable[[_T], _R],
+    items: Sequence[_T],
+    *,
+    jobs: Optional[int] = None,
+    label: str = "run_specs",
+) -> List[_R]:
+    """Run ``fn`` over ``items``, across processes when ``jobs`` > 1.
+
+    Results come back in input order regardless of completion order, so
+    parallel and serial execution produce identical outputs (each item
+    must carry its own seed). The opt-in :class:`Heartbeat` reports
+    progress on stderr; when it is disabled the parallel path is a plain
+    ``pool.map``, and when enabled the same futures are collected in
+    submission order — outputs are identical either way.
+    """
+    items = list(items)
+    jobs = _DEFAULT_JOBS if jobs is None else jobs
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    heartbeat = Heartbeat(len(items), label=label)
+    if jobs == 1 or len(items) <= 1:
+        out: List[_R] = []
+        for i, item in enumerate(items):
+            out.append(fn(item))
+            heartbeat.beat(i + 1)
+        return out
+    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+        if not heartbeat.enabled:
+            return list(pool.map(fn, items))
+        futures = [pool.submit(fn, item) for item in items]
+        done = 0
+        for future in as_completed(futures):
+            future.result()  # surface worker failures promptly
+            done += 1
+            heartbeat.beat(done)
+        return [f.result() for f in futures]
+
+
 def run_specs(
     specs: Sequence[ScenarioSpec], *, jobs: Optional[int] = None
 ) -> List[RunOutcome]:
@@ -395,14 +528,7 @@ def run_specs(
     each scenario carries its own seed, so parallel and serial execution
     produce identical outcomes.
     """
-    specs = list(specs)
-    jobs = _DEFAULT_JOBS if jobs is None else jobs
-    if jobs < 1:
-        raise ValueError(f"jobs must be >= 1, got {jobs}")
-    if jobs == 1 or len(specs) <= 1:
-        return [run_spec(s) for s in specs]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
-        return list(pool.map(run_spec, specs))
+    return fan_out(run_spec, specs, jobs=jobs, label="run_specs")
 
 
 def policy_comparison(

@@ -1,0 +1,46 @@
+"""Fleet-scale cluster simulation.
+
+Scales the single-machine substrate to many heterogeneous machines behind
+a pluggable backend abstraction (:mod:`repro.fleet.backend`), with a
+trace-driven scheduler (:mod:`repro.fleet.scheduler`) that scores every
+(app x machine x worker-set) candidate placement of a scheduling tick in
+one vectorised :func:`repro.memsim.solve_batch_fleet` call.
+"""
+
+from repro.fleet.cluster import (
+    FleetNode,
+    build_fleet,
+    class_machine,
+    machine_classes,
+    parse_mix,
+    register_machine_class,
+)
+from repro.fleet.backend import (
+    FleetCompletion,
+    FlowBackend,
+    MachineBackend,
+    SimBackend,
+    canonical_for,
+    machine_seed,
+    make_backend,
+)
+from repro.fleet.scheduler import FleetResult, FleetScheduler, SchedulerConfig
+
+__all__ = [
+    "FleetNode",
+    "build_fleet",
+    "class_machine",
+    "machine_classes",
+    "parse_mix",
+    "register_machine_class",
+    "FleetCompletion",
+    "FlowBackend",
+    "MachineBackend",
+    "SimBackend",
+    "canonical_for",
+    "machine_seed",
+    "make_backend",
+    "FleetResult",
+    "FleetScheduler",
+    "SchedulerConfig",
+]

@@ -1,0 +1,478 @@
+"""Machine backends: how one fleet machine executes its placed apps.
+
+The scheduler talks to every machine through the small
+:class:`MachineBackend` interface — admit an app onto a worker set,
+report the resident consumer set for scoring, advance to a deadline —
+so execution fidelity is pluggable per run:
+
+:class:`FlowBackend`
+    Fluid-rate model. Apps progress at the rates the contention solver
+    allocates; rates change only when the resident set changes, so the
+    backend advances in closed form between completion events and
+    re-solves (through a :class:`~repro.memsim.SolverCache`) only at
+    those events. Cheap enough for million-arrival traces.
+
+:class:`SimBackend`
+    A full :class:`~repro.engine.Simulator` per machine — epoch kernel,
+    counters, migration charges, and (under ``policy="bwap"``) the
+    on-line DWP tuner — stepped incrementally under the fleet clock.
+
+Both backends score candidate placements with the *same* analytic
+consumer construction (:meth:`MachineBackend.candidate_consumers`), so a
+scheduling decision depends only on the solver — which is what makes the
+batched and scalar scoring paths bitwise-comparable.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.canonical import CanonicalTuner
+from repro.core.dwp import combine_weights
+from repro.engine.sim import Simulator
+from repro.engine.threads import pin_threads, threads_per_node
+from repro.experiments.common import (
+    RunOutcome,
+    deploy_app,
+    derive_seed,
+    get_canonical,
+    outcome_for_app,
+)
+from repro.memsim.contention import (
+    DEFAULT_MC_MODEL,
+    Allocation,
+    Consumer,
+    SolverCache,
+)
+from repro.topology import Machine
+from repro.workloads import WorkloadSpec
+
+#: Per-instance canonical tuner cache. The experiments-level
+#: ``get_canonical`` memoises by *machine name*, which is unsafe here:
+#: custom fleet classes built from the topology builders can share a
+#: default name (e.g. every ``fully_connected`` is "fully-connected")
+#: while differing in structure. Fleet machines are per-class singletons,
+#: so identity keying is exact — and the paper machines still reuse the
+#: experiments' shared profile.
+_CANONICAL_BY_ID: Dict[int, "CanonicalTuner"] = {}
+
+
+def canonical_for(machine: Machine) -> "CanonicalTuner":
+    """The canonical tuner of one fleet machine (cached per instance)."""
+    if machine.name in ("machine-A", "machine-B"):
+        return get_canonical(machine)
+    key = id(machine)
+    if key not in _CANONICAL_BY_ID:
+        _CANONICAL_BY_ID[key] = CanonicalTuner(machine)
+    return _CANONICAL_BY_ID[key]
+
+
+def machine_seed(base_seed: int, mid: int) -> int:
+    """Per-machine seed, stable across processes and fleet layouts."""
+    return derive_seed(base_seed, "fleet-machine", mid)
+
+
+@dataclass(frozen=True)
+class FleetCompletion:
+    """One finished app: where it ran and how it fared."""
+
+    app_id: str
+    mid: int
+    machine_class: str
+    workers: Tuple[int, ...]
+    threads: int
+    arrival_s: float
+    placed_s: float
+    finish_s: float
+    ideal_s: float
+    slowdown: float
+    wait_s: float
+    #: Full per-app telemetry (``SimBackend`` only; the fluid model has
+    #: no counters to fold).
+    outcome: Optional[RunOutcome] = None
+
+
+@dataclass
+class _Placed:
+    """Occupancy record of one running app."""
+
+    app_id: str
+    workload: WorkloadSpec
+    workers: Tuple[int, ...]
+    threads: int
+    arrival_s: float
+    placed_s: float
+    ideal_s: float
+
+
+class MachineBackend(abc.ABC):
+    """One fleet machine: occupancy bookkeeping plus an execution model."""
+
+    #: Whether :meth:`advance` consumes the scheduler's per-tick state
+    #: allocation (the fluid backend does; the simulator solves its own).
+    wants_state_alloc = False
+
+    def __init__(
+        self,
+        mid: int,
+        class_name: str,
+        machine: Machine,
+        *,
+        policy: str = "bwap",
+        dwp: float = 0.8,
+        seed: int = 0,
+    ):
+        self.mid = mid
+        self.class_name = class_name
+        self.machine = machine
+        self.policy = policy
+        self.dwp = dwp
+        self.seed = seed
+        self.now = 0.0
+        self._occupied: Dict[int, str] = {}
+        self._placed: Dict[str, _Placed] = {}
+        self.completions: List[FleetCompletion] = []
+        #: Node-seconds spent running *completed* apps (live apps are
+        #: folded in by :meth:`utilization`).
+        self.busy_node_seconds = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Occupancy
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_live(self) -> int:
+        return len(self._placed)
+
+    def free_nodes(self) -> Tuple[int, ...]:
+        return tuple(
+            n for n in range(self.machine.num_nodes) if n not in self._occupied
+        )
+
+    def occupied_nodes(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._occupied))
+
+    def utilization(self, end_s: float) -> float:
+        """Busy node-seconds over total node-seconds up to ``end_s``."""
+        if end_s <= 0:
+            return 0.0
+        busy = self.busy_node_seconds
+        for rec in self._placed.values():
+            busy += len(rec.workers) * (end_s - rec.placed_s)
+        return busy / (self.machine.num_nodes * end_s)
+
+    def _register(
+        self,
+        app_id: str,
+        workload: WorkloadSpec,
+        workers: Sequence[int],
+        arrival_s: float,
+        threads: int,
+    ) -> _Placed:
+        workers = tuple(workers)
+        for w in workers:
+            if w in self._occupied:
+                raise RuntimeError(
+                    f"machine {self.mid}: node {w} already occupied by "
+                    f"{self._occupied[w]!r}"
+                )
+        rec = _Placed(
+            app_id,
+            workload,
+            workers,
+            threads,
+            arrival_s,
+            self.now,
+            workload.ideal_time_s(threads, len(workers)),
+        )
+        for w in workers:
+            self._occupied[w] = app_id
+        self._placed[app_id] = rec
+        return rec
+
+    def _finish(
+        self, rec: _Placed, finish_s: float, outcome: Optional[RunOutcome] = None
+    ) -> None:
+        for w in rec.workers:
+            del self._occupied[w]
+        del self._placed[rec.app_id]
+        self.busy_node_seconds += len(rec.workers) * (finish_s - rec.placed_s)
+        self.completions.append(
+            FleetCompletion(
+                app_id=rec.app_id,
+                mid=self.mid,
+                machine_class=self.class_name,
+                workers=rec.workers,
+                threads=rec.threads,
+                arrival_s=rec.arrival_s,
+                placed_s=rec.placed_s,
+                finish_s=finish_s,
+                ideal_s=rec.ideal_s,
+                slowdown=(finish_s - rec.arrival_s) / rec.ideal_s,
+                wait_s=rec.placed_s - rec.arrival_s,
+                outcome=outcome,
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # Candidate scoring (shared by every backend)
+    # ------------------------------------------------------------------ #
+
+    def placement_weights(self, workers: Sequence[int]) -> np.ndarray:
+        """Predicted shared-page distribution under this backend's policy."""
+        if self.policy in ("bwap", "bwap-static"):
+            return combine_weights(
+                canonical_for(self.machine).weights(workers), workers, self.dwp
+            )
+        if self.policy == "uniform-workers":
+            w = np.zeros(self.machine.num_nodes)
+            w[list(workers)] = 1.0 / len(workers)
+            return w
+        if self.policy == "uniform-all":
+            n = self.machine.num_nodes
+            return np.full(n, 1.0 / n)
+        raise ValueError(f"unknown fleet policy {self.policy!r}")
+
+    def candidate_consumers(
+        self, app_id: str, workload: WorkloadSpec, workers: Sequence[int]
+    ) -> Tuple[List[Consumer], int, Dict[int, int]]:
+        """Analytic consumer set of a prospective placement.
+
+        Mirrors :meth:`repro.engine.Application.traffic_mix`: each
+        worker's mix is ``(1 - pf) * shared + pf * local`` with the
+        shared distribution given by :meth:`placement_weights`, and
+        demand from the workload's per-node model at full thread
+        population. Returns ``(consumers, total_threads, threads_per_node)``.
+        """
+        thread_nodes = pin_threads(self.machine, workers)
+        tpn = threads_per_node(thread_nodes)
+        total = len(thread_nodes)
+        shared = self.placement_weights(workers)
+        pf = (
+            workload.private_fraction
+            if workload.private_bytes_per_thread > 0
+            else 0.0
+        )
+        consumers: List[Consumer] = []
+        for w in workers:
+            mix = (1.0 - pf) * shared
+            mix = mix.copy()
+            mix[w] += pf
+            mix = mix / mix.sum()
+            demand = workload.node_demand_gbps(tpn[w], total, len(workers))
+            consumers.append(
+                Consumer(app_id, w, tpn[w], mix, demand, workload.write_fraction)
+            )
+        return consumers, total, tpn
+
+    # ------------------------------------------------------------------ #
+    # Execution model
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def admit(
+        self,
+        app_id: str,
+        workload: WorkloadSpec,
+        workers: Sequence[int],
+        arrival_s: float,
+    ) -> None:
+        """Start one app on ``workers`` at the current backend clock."""
+
+    @abc.abstractmethod
+    def resident_consumers(self) -> List[Consumer]:
+        """Consumer set of the currently running apps (for scoring)."""
+
+    @abc.abstractmethod
+    def advance(self, to: float, alloc: Optional[Allocation] = None) -> None:
+        """Advance the backend clock to ``to``, recording completions.
+
+        ``alloc`` is the allocation the scheduler already solved for the
+        current resident set (fleet-batched or scalar — bitwise equal),
+        so a backend that wants it never re-solves at tick boundaries.
+        """
+
+
+class _FlowApp:
+    """Fluid-model state of one running app."""
+
+    __slots__ = ("rec", "consumers", "remaining", "useful")
+
+    def __init__(
+        self,
+        rec: _Placed,
+        consumers: List[Consumer],
+        remaining: Dict[int, float],
+        useful: float,
+    ):
+        self.rec = rec
+        self.consumers = consumers
+        self.remaining = remaining
+        self.useful = useful
+
+
+class FlowBackend(MachineBackend):
+    """Event-driven fluid execution at solver-allocated rates.
+
+    Each worker owns a share of ``work_bytes`` proportional to its
+    demand and burns it at ``rate x node_efficiency``; between resident-set
+    changes rates are constant, so the next completion time is closed
+    form. Per-machine BWAP placement enters through the candidate mixes
+    (canonical weights blended at the configured DWP).
+    """
+
+    wants_state_alloc = True
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._cache = SolverCache(maxsize=64)
+        self._flow: Dict[str, _FlowApp] = {}
+
+    def admit(self, app_id, workload, workers, arrival_s):
+        consumers, threads, _tpn = self.candidate_consumers(app_id, workload, workers)
+        rec = self._register(app_id, workload, workers, arrival_s, threads)
+        total_demand = sum(c.demand for c in consumers)
+        remaining = {
+            c.node: workload.work_bytes * (c.demand / total_demand)
+            for c in consumers
+        }
+        self._flow[app_id] = _FlowApp(
+            rec, consumers, remaining, workload.node_efficiency(len(workers))
+        )
+
+    def resident_consumers(self) -> List[Consumer]:
+        out: List[Consumer] = []
+        for app in self._flow.values():
+            for c in app.consumers:
+                if app.remaining[c.node] > 0.0:
+                    out.append(c)
+        return out
+
+    def _solve(self) -> Allocation:
+        return self._cache.solve(
+            self.machine, self.resident_consumers(), DEFAULT_MC_MODEL
+        )
+
+    def advance(self, to, alloc=None):
+        while True:
+            if not self._flow:
+                self.now = to
+                return
+            if self.now >= to:
+                return
+            if alloc is None:
+                alloc = self._solve()
+            # Earliest per-worker depletion under the current rates.
+            dt = to - self.now
+            speeds: Dict[Tuple[str, int], float] = {}
+            for app in self._flow.values():
+                factor = app.useful * 1e9  # GB/s of traffic -> bytes/s of work
+                for c in app.consumers:
+                    rem = app.remaining[c.node]
+                    if rem <= 0.0:
+                        continue
+                    speed = alloc.rate(c.app_id, c.node) * factor
+                    speeds[(c.app_id, c.node)] = speed
+                    if speed > 0.0:
+                        need = rem / speed
+                        if need < dt:
+                            dt = need
+            self.now += dt
+            finished_any = False
+            for app_id in list(self._flow):
+                app = self._flow[app_id]
+                for c in app.consumers:
+                    rem = app.remaining[c.node]
+                    if rem <= 0.0:
+                        continue
+                    speed = speeds[(c.app_id, c.node)]
+                    if speed > 0.0 and rem / speed <= dt:
+                        app.remaining[c.node] = 0.0
+                    else:
+                        app.remaining[c.node] = max(rem - speed * dt, 0.0)
+                if all(v <= 0.0 for v in app.remaining.values()):
+                    self._finish(app.rec, self.now)
+                    del self._flow[app_id]
+                    finished_any = True
+            if finished_any:
+                alloc = None  # resident set changed; re-solve lazily
+
+
+class SimBackend(MachineBackend):
+    """Full simulator fidelity under the fleet clock.
+
+    Apps are deployed through the same :func:`deploy_app` path the
+    single-machine experiments use (so a 1-machine fleet reduces bitwise
+    to a plain ``run_spec``), and the simulator is stepped incrementally
+    with :meth:`Simulator.step_to`. Idle time belongs to the fleet clock:
+    after every advance the simulator clock is pinned to the fleet clock,
+    so a later admission gets the correct start time.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.sim = Simulator(self.machine, seed=self.seed)
+        self.sim.start()
+        self._tuners: Dict[str, object] = {}
+
+    def admit(self, app_id, workload, workers, arrival_s):
+        threads = len(pin_threads(self.machine, workers))
+        self._register(app_id, workload, workers, arrival_s, threads)
+        _app, tuner = deploy_app(
+            self.sim,
+            app_id,
+            workload,
+            workers,
+            self.policy,
+            canonical=canonical_for(self.machine),
+            static_dwp=self.dwp if self.policy == "bwap-static" else None,
+        )
+        self._tuners[app_id] = tuner
+
+    def resident_consumers(self) -> List[Consumer]:
+        out: List[Consumer] = []
+        for app in self.sim.apps:
+            if not app.finished:
+                out.extend(app.consumers())
+        return out
+
+    def advance(self, to, alloc=None):
+        del alloc  # the simulator drives its own epoch allocations
+        self.sim.step_to(to)
+        result = None
+        for app in self.sim.apps:
+            if app.finished and app.app_id in self._placed:
+                if result is None:
+                    result = self.sim.snapshot()
+                rec = self._placed[app.app_id]
+                outcome = outcome_for_app(
+                    result, app.app_id, self._tuners.get(app.app_id)
+                )
+                self._finish(rec, float(app.finish_time), outcome)
+        self.sim.now = to  # idle time belongs to the fleet clock
+        self.now = to
+
+
+BACKENDS = {"flow": FlowBackend, "sim": SimBackend}
+
+
+def make_backend(
+    kind: str,
+    mid: int,
+    class_name: str,
+    machine: Machine,
+    *,
+    policy: str = "bwap",
+    dwp: float = 0.8,
+    seed: int = 0,
+) -> MachineBackend:
+    """Construct a backend of the named kind (``"flow"`` or ``"sim"``)."""
+    try:
+        cls = BACKENDS[kind]
+    except KeyError:
+        raise ValueError(f"unknown backend {kind!r}; use one of {tuple(BACKENDS)}")
+    return cls(mid, class_name, machine, policy=policy, dwp=dwp, seed=seed)

@@ -1,0 +1,310 @@
+"""Trace-driven fleet scheduler with one vectorised solve per tick.
+
+Each scheduling tick the scheduler admits arrivals, then scores every
+(pending app x machine x worker-set) candidate placement — plus one
+state entry per fluid machine with residents — in a **single**
+:func:`repro.memsim.solve_batch_fleet` call. The scalar scoring mode
+(``scoring="scalar"``) runs the identical decision procedure with one
+:func:`repro.memsim.solve` per entry; because the batched solver is
+bitwise-identical to the scalar one, both modes produce byte-for-byte
+the same placements, completions, and metrics — that equivalence is
+asserted by ``benchmarks/bench_fleet.py`` and ``tests/test_fleet.py``.
+
+Between ticks the fleet skips idle spans in one jump (to the tick
+containing the next arrival, or to the horizon when only running apps
+remain), so sparse traces cost time proportional to events, not to
+simulated seconds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.fleet.backend import (
+    Allocation,
+    FleetCompletion,
+    MachineBackend,
+    machine_seed,
+    make_backend,
+)
+from repro.fleet.cluster import FleetNode
+from repro.memsim.contention import solve
+from repro.memsim import solve_batch_fleet_lazy
+from repro.engine.threads import pick_worker_nodes
+from repro.workloads.arrivals import ArrivalTrace
+
+#: Scheduling disciplines: how a pending app ranks its feasible candidates.
+DISCIPLINES = ("best-rate", "first-fit", "least-loaded")
+
+#: Scoring modes: one fleet-batched solve per tick vs one scalar solve
+#: per candidate (the baseline the benchmark beats).
+SCORINGS = ("batched", "scalar")
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Scheduler knobs (all folded into the run fingerprint)."""
+
+    backend: str = "flow"
+    policy: str = "bwap"
+    dwp: float = 0.8
+    tick_s: float = 5.0
+    worker_counts: Tuple[int, ...] = (1, 2)
+    max_pending_per_tick: int = 8
+    discipline: str = "best-rate"
+    scoring: str = "batched"
+
+    def __post_init__(self) -> None:
+        if self.tick_s <= 0:
+            raise ValueError(f"tick_s must be positive, got {self.tick_s}")
+        if not self.worker_counts or any(k <= 0 for k in self.worker_counts):
+            raise ValueError(f"bad worker_counts {self.worker_counts}")
+        if self.max_pending_per_tick <= 0:
+            raise ValueError(
+                f"max_pending_per_tick must be positive, got {self.max_pending_per_tick}"
+            )
+        if self.discipline not in DISCIPLINES:
+            raise ValueError(
+                f"unknown discipline {self.discipline!r}; use {DISCIPLINES}"
+            )
+        if self.scoring not in SCORINGS:
+            raise ValueError(f"unknown scoring {self.scoring!r}; use {SCORINGS}")
+        if not 0 <= self.dwp <= 1:
+            raise ValueError(f"dwp must be in [0, 1], got {self.dwp}")
+
+
+@dataclass
+class FleetResult:
+    """Everything a fleet run produced, in deterministic order."""
+
+    #: Admission decisions in decision order: ``(app_id, mid, workers)``.
+    placements: List[Tuple[str, int, Tuple[int, ...]]]
+    #: Completions sorted by ``(finish_s, app_id)``.
+    completions: List[FleetCompletion]
+    arrivals: int
+    placed: int
+    pending_left: int
+    ticks: int
+    #: Solver invocations: ticks in batched mode, entries in scalar mode.
+    solver_calls: int
+    entries_scored: int
+    end_time: float
+    utilization: Dict[int, float]
+    machine_class: Dict[int, str]
+
+
+class FleetScheduler:
+    """Admits a trace onto a fleet of machine backends."""
+
+    def __init__(
+        self,
+        fleet: Sequence[FleetNode],
+        trace: ArrivalTrace,
+        config: SchedulerConfig = SchedulerConfig(),
+        *,
+        seed: int = 42,
+    ):
+        self.fleet = list(fleet)
+        for idx, node in enumerate(self.fleet):
+            if node.mid != idx:
+                raise ValueError(f"fleet node {idx} has mid {node.mid}")
+        self.trace = trace
+        self.config = config
+        #: Worker-set choices keyed by (machine identity, occupied nodes,
+        #: k) — pure and shared across ticks and same-class machines.
+        self._worker_cache: Dict[Tuple[int, Tuple[int, ...], int], Tuple[int, ...]] = {}
+        self.backends: List[MachineBackend] = [
+            make_backend(
+                config.backend,
+                node.mid,
+                node.class_name,
+                node.machine,
+                policy=config.policy,
+                dwp=config.dwp,
+                seed=machine_seed(seed, node.mid),
+            )
+            for node in self.fleet
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Candidate ranking
+    # ------------------------------------------------------------------ #
+
+    def _rank_key(self, backend: MachineBackend, score: float, k: int) -> tuple:
+        """Larger key wins; ties break toward lower machine id, smaller k."""
+        d = self.config.discipline
+        if d == "best-rate":
+            return (score, -backend.mid, -k)
+        if d == "first-fit":
+            return (-backend.mid, -k)
+        # least-loaded: most free nodes first, then predicted rate.
+        return (len(backend.free_nodes()), score, -backend.mid, -k)
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+
+    def run(self, max_time: float = 1_000_000.0) -> FleetResult:
+        if max_time <= 0:
+            raise ValueError(f"max_time must be positive, got {max_time}")
+        cfg = self.config
+        times = self.trace.times
+        n = len(self.trace)
+        i = 0  # next arrival index
+        now = 0.0
+        pending: List[int] = []
+        placements: List[Tuple[str, int, Tuple[int, ...]]] = []
+        ticks = 0
+        solver_calls = 0
+        entries_scored = 0
+
+        while now < max_time:
+            while i < n and float(times[i]) <= now:
+                pending.append(i)
+                i += 1
+
+            state_allocs: Dict[int, Optional[Allocation]] = {}
+            if pending:
+                ticks += 1
+                # --- Build the tick's entry list -------------------------
+                entries: List[tuple] = []  # (machine, consumers)
+                state_rows: List[Tuple[int, int]] = []  # (mid, row)
+                resident = {
+                    b.mid: b.resident_consumers()
+                    for b in self.backends
+                    if b.num_live
+                }
+                for b in self.backends:
+                    if b.wants_state_alloc and b.num_live:
+                        state_rows.append((b.mid, len(entries)))
+                        entries.append((b.machine, resident[b.mid]))
+                batch = pending[: cfg.max_pending_per_tick]
+                workers_cache: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+                # Same-class machines with the same worker set produce
+                # identical candidate consumers (weights, mixes, demands
+                # depend only on machine/workers/workload), so construct
+                # each distinct set once per tick and share the objects.
+                cons_cache: Dict[Tuple[int, Tuple[int, ...], int], list] = {}
+                cands: List[Tuple[int, int, Tuple[int, ...], int]] = []
+                for p in batch:
+                    app_id = self.trace.app_id(p)
+                    workload = self.trace.workload(p)
+                    for b in self.backends:
+                        free = b.free_nodes()
+                        for k in cfg.worker_counts:
+                            if k > len(free):
+                                continue
+                            ck = (b.mid, k)
+                            workers = workers_cache.get(ck)
+                            if workers is None:
+                                wk = (id(b.machine), b.occupied_nodes(), k)
+                                workers = self._worker_cache.get(wk)
+                                if workers is None:
+                                    workers = pick_worker_nodes(
+                                        b.machine, k, exclude=wk[1]
+                                    )
+                                    self._worker_cache[wk] = workers
+                                workers_cache[ck] = workers
+                            key = (id(b.machine), workers, p)
+                            consumers = cons_cache.get(key)
+                            if consumers is None:
+                                consumers, _t, _tpn = b.candidate_consumers(
+                                    app_id, workload, workers
+                                )
+                                cons_cache[key] = consumers
+                            cands.append((p, b.mid, workers, len(entries)))
+                            entries.append(
+                                (b.machine, resident.get(b.mid, []) + consumers)
+                            )
+
+                # --- ONE vectorised solve for the whole tick -------------
+                entries_scored += len(entries)
+                if cfg.scoring == "batched":
+                    # Lazy batch: scores come straight off the rate
+                    # tensor; full Allocations are built only for state
+                    # rows and winning candidates (a handful per tick).
+                    fb = solve_batch_fleet_lazy(entries)
+                    solver_calls += 1
+                    get_alloc = fb.allocation
+                    get_score = fb.app_total_rate
+                else:
+                    allocs = [solve(m, cs) for m, cs in entries]
+                    solver_calls += len(entries)
+                    get_alloc = allocs.__getitem__
+                    get_score = lambda row, aid: allocs[row].app_total_rate(aid)
+                for mid, row in state_rows:
+                    state_allocs[mid] = get_alloc(row)
+
+                # --- Greedy admissions in arrival order ------------------
+                claimed: set = set()
+                for p in batch:
+                    app_id = self.trace.app_id(p)
+                    best = None
+                    for pp, mid, workers, row in cands:
+                        if pp != p or mid in claimed:
+                            continue
+                        score = get_score(row, app_id)
+                        key = self._rank_key(self.backends[mid], score, len(workers))
+                        if best is None or key > best[0]:
+                            best = (key, mid, workers, row)
+                    if best is None:
+                        continue  # no feasible machine this tick
+                    _key, mid, workers, row = best
+                    backend = self.backends[mid]
+                    backend.admit(
+                        app_id, self.trace.workload(p), workers, float(times[p])
+                    )
+                    claimed.add(mid)
+                    # The winning candidate allocation already includes the
+                    # admitted app, so it is the machine's new state.
+                    state_allocs[mid] = get_alloc(row)
+                    placements.append((app_id, mid, workers))
+                    pending.remove(p)
+
+            # --- Advance the fleet clock ---------------------------------
+            live = any(b.num_live for b in self.backends)
+            if pending:
+                next_time = now + cfg.tick_s
+            elif i < n:
+                # Idle gap: jump straight to the tick holding the arrival.
+                gap = max(1.0, math.ceil((float(times[i]) - now) / cfg.tick_s))
+                next_time = now + cfg.tick_s * gap
+            elif live:
+                next_time = max_time  # drain the running apps
+            else:
+                break
+            next_time = min(next_time, max_time)
+            if next_time <= now:
+                break
+            for b in self.backends:
+                b.advance(
+                    next_time,
+                    state_allocs.get(b.mid) if b.wants_state_alloc else None,
+                )
+            now = next_time
+
+        completions: List[FleetCompletion] = []
+        for b in self.backends:
+            completions.extend(b.completions)
+        completions.sort(key=lambda c: (c.finish_s, c.app_id))
+        end_time = now
+        drained = not pending and i >= n and not any(b.num_live for b in self.backends)
+        if drained and completions:
+            # All work finished before the horizon: measure utilisation
+            # over the span that actually saw activity.
+            end_time = max(c.finish_s for c in completions)
+        return FleetResult(
+            placements=placements,
+            completions=completions,
+            arrivals=n,
+            placed=len(placements),
+            pending_left=len(pending),
+            ticks=ticks,
+            solver_calls=solver_calls,
+            entries_scored=entries_scored,
+            end_time=end_time,
+            utilization={b.mid: b.utilization(end_time) for b in self.backends},
+            machine_class={node.mid: node.class_name for node in self.fleet},
+        )

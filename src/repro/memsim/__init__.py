@@ -23,6 +23,9 @@ from repro.memsim.contention import (
     proportional_profile,
     solve,
     solve_batch,
+    solve_batch_fleet,
+    solve_batch_fleet_lazy,
+    FleetBatch,
 )
 from repro.memsim.policies import (
     AutoNUMA,
@@ -67,6 +70,9 @@ __all__ = [
     "proportional_profile",
     "solve",
     "solve_batch",
+    "solve_batch_fleet",
+    "solve_batch_fleet_lazy",
+    "FleetBatch",
     "AutoNUMA",
     "FirstTouch",
     "PlacementContext",

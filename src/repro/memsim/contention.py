@@ -542,34 +542,24 @@ def batch_coefficients(
     return A
 
 
-def solve_batch_arrays(
+def _batch_setup(
     machine: Machine,
     node_idx: np.ndarray,
     mix: np.ndarray,
     demand: np.ndarray,
     write_fraction: np.ndarray,
     live: np.ndarray,
-    mc_model: MCModel = DEFAULT_MC_MODEL,
-    *,
+    mc_model: MCModel,
     coefficients: Optional[np.ndarray] = None,
     capacity_scale: Optional[np.ndarray] = None,
-) -> BatchArrays:
-    """Vectorised max-min progressive filling over a batch of consumer sets.
+) -> Tuple[MachineTables, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-machine setup phase of a batched solve.
 
-    Inputs are dense arrays over ``(batch, consumer-slot)``: ``node_idx``
-    holds each consumer's worker node, ``mix`` its per-source traffic
-    fractions (``(batch, slot, nodes)``), ``demand``/``write_fraction`` per
-    slot, and ``live`` the slot-validity mask — trailing padding and idle
-    consumers are simply dead slots. Batch elements are independent; each
-    element's results are bitwise-identical to solving it alone, because
-    reductions over the consumer axis accumulate sequentially (dead-slot
-    zeros are exact no-ops) and all other contractions run over fixed-size
-    machine axes.
-
-    ``capacity_scale`` is an optional per-resource multiplier over the
-    canonical ``machine_tables(machine).res_keys`` axis (fault plans use
-    it to degrade link capacities mid-run); ``None`` leaves the solve
-    bit-for-bit unchanged.
+    Returns ``(tables, A, caps, touched, demand, live)`` — everything the
+    machine-independent :func:`_progressive_fill` loop needs. Kept separate
+    from the fill so :func:`solve_batch_fleet` can run this once per
+    machine group, pad the outputs onto a fleet-wide axis, and fill the
+    whole fleet in one pass.
     """
     t = machine_tables(machine)
     mix = np.asarray(mix, dtype=float)
@@ -627,7 +617,27 @@ def solve_batch_arrays(
             raise ValueError("capacity_scale entries must be positive")
         caps = caps * scale
     caps = np.where(touched, caps, np.inf)
+    return t, A, caps, touched, demand, live
+
+
+def _progressive_fill(
+    A: np.ndarray,
+    caps: np.ndarray,
+    touched: np.ndarray,
+    demand: np.ndarray,
+    live: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Machine-independent max-min progressive-filling loop.
+
+    Operates purely on dense ``(batch, resources, consumers)`` tensors;
+    batch elements are independent, and padded resource rows (zero
+    incidence, infinite capacity, untouched) and dead consumer slots are
+    exact no-ops — which is what lets heterogeneous machine groups share
+    one fleet-wide tensor. Returns ``(rates, load, util, bottleneck_row)``.
+    """
+    num_batch, num_res, num_slots = A.shape
     saturation_slack = _EPS * np.maximum(caps, 1.0)
+    batch_range = np.arange(num_batch)
 
     rates = np.zeros((num_batch, num_slots))
     active = live.copy()
@@ -686,6 +696,52 @@ def solve_batch_arrays(
         util = np.where(
             touched & (caps > 0), load / np.where(caps > 0, caps, 1.0), 0.0
         )
+    return rates, load, util, bottleneck_row
+
+
+def solve_batch_arrays(
+    machine: Machine,
+    node_idx: np.ndarray,
+    mix: np.ndarray,
+    demand: np.ndarray,
+    write_fraction: np.ndarray,
+    live: np.ndarray,
+    mc_model: MCModel = DEFAULT_MC_MODEL,
+    *,
+    coefficients: Optional[np.ndarray] = None,
+    capacity_scale: Optional[np.ndarray] = None,
+) -> BatchArrays:
+    """Vectorised max-min progressive filling over a batch of consumer sets.
+
+    Inputs are dense arrays over ``(batch, consumer-slot)``: ``node_idx``
+    holds each consumer's worker node, ``mix`` its per-source traffic
+    fractions (``(batch, slot, nodes)``), ``demand``/``write_fraction`` per
+    slot, and ``live`` the slot-validity mask — trailing padding and idle
+    consumers are simply dead slots. Batch elements are independent; each
+    element's results are bitwise-identical to solving it alone, because
+    reductions over the consumer axis accumulate sequentially (dead-slot
+    zeros are exact no-ops) and all other contractions run over fixed-size
+    machine axes.
+
+    ``capacity_scale`` is an optional per-resource multiplier over the
+    canonical ``machine_tables(machine).res_keys`` axis (fault plans use
+    it to degrade link capacities mid-run); ``None`` leaves the solve
+    bit-for-bit unchanged.
+    """
+    t, A, caps, touched, demand, live = _batch_setup(
+        machine,
+        node_idx,
+        mix,
+        demand,
+        write_fraction,
+        live,
+        mc_model,
+        coefficients,
+        capacity_scale,
+    )
+    rates, load, util, bottleneck_row = _progressive_fill(
+        A, caps, touched, demand, live
+    )
     return BatchArrays(t, rates, load, caps, util, touched, bottleneck_row)
 
 
@@ -699,31 +755,96 @@ def _empty_allocation(consumers: Sequence[Consumer]) -> Allocation:
     )
 
 
-def _allocation_from_batch(
+def _allocation_from_rows(
     consumers: Sequence[Consumer],
     live: Sequence[Consumer],
-    arrays: BatchArrays,
-    b: int,
+    res_keys: Sequence[ResourceKey],
+    rates_row: np.ndarray,
+    bottleneck_row: np.ndarray,
+    touched_row: np.ndarray,
+    util_row: np.ndarray,
+    caps_row: np.ndarray,
 ) -> Allocation:
+    """Unpack one batch element's dense rows into an :class:`Allocation`.
+
+    ``touched_row`` may be longer than ``res_keys`` (fleet tensors pad the
+    resource axis); padded rows are never touched, so the scan stays within
+    the machine's own canonical axis.
+    """
     rates: Dict[Tuple[str, int], float] = {c.key(): 0.0 for c in consumers}
     bottleneck: Dict[Tuple[str, int], Optional[ResourceKey]] = {
         c.key(): None for c in consumers
     }
-    res_keys = arrays.tables.res_keys
     for j, c in enumerate(live):
-        rates[c.key()] = float(arrays.rates[b, j])
-        row = int(arrays.bottleneck_row[b, j])
+        rates[c.key()] = float(rates_row[j])
+        row = int(bottleneck_row[j])
         if row >= 0:
             bottleneck[c.key()] = res_keys[row]
-    touched_rows = np.nonzero(arrays.touched[b])[0]
-    utilization = {res_keys[i]: float(arrays.util[b, i]) for i in touched_rows}
-    capacities = {res_keys[i]: float(arrays.caps[b, i]) for i in touched_rows}
+    touched_rows = np.nonzero(touched_row)[0]
+    utilization = {res_keys[i]: float(util_row[i]) for i in touched_rows}
+    capacities = {res_keys[i]: float(caps_row[i]) for i in touched_rows}
     return Allocation(
         rates=rates,
         utilization=utilization,
         bottleneck=bottleneck,
         capacities=capacities,
     )
+
+
+def _allocation_from_batch(
+    consumers: Sequence[Consumer],
+    live: Sequence[Consumer],
+    arrays: BatchArrays,
+    b: int,
+) -> Allocation:
+    return _allocation_from_rows(
+        consumers,
+        live,
+        arrays.tables.res_keys,
+        arrays.rates[b],
+        arrays.bottleneck_row[b],
+        arrays.touched[b],
+        arrays.util[b],
+        arrays.caps[b],
+    )
+
+
+def _live_consumers(machine: Machine, consumers: Sequence[Consumer]) -> List[Consumer]:
+    """Validated non-idle consumers of one solve input."""
+    num_nodes = machine.num_nodes
+    lv = [c for c in consumers if not c.is_idle]
+    keys = [c.key() for c in lv]
+    if len(set(keys)) != len(keys):
+        raise ValueError(f"duplicate consumer keys: {sorted(keys)}")
+    for c in lv:
+        if not 0 <= c.node < num_nodes:
+            raise ValueError(f"consumer node {c.node} outside machine")
+        if len(c.mix) > num_nodes:
+            raise ValueError(
+                f"mix has {len(c.mix)} entries for a {num_nodes}-node machine"
+            )
+    return lv
+
+
+def _pack_consumers(
+    lives: Sequence[Sequence[Consumer]], num_nodes: int, num_slots: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Pack validated consumer lists into dense padded slot arrays."""
+    num_batch = len(lives)
+    node_idx = np.zeros((num_batch, num_slots), dtype=np.intp)
+    mix = np.zeros((num_batch, num_slots, num_nodes))
+    demand = np.zeros((num_batch, num_slots))
+    write_frac = np.zeros((num_batch, num_slots))
+    live_mask = np.zeros((num_batch, num_slots), dtype=bool)
+    for b, lv in enumerate(lives):
+        for j, c in enumerate(lv):
+            node_idx[b, j] = c.node
+            m = np.asarray(c.mix, dtype=float)
+            mix[b, j, : len(m)] = m
+            demand[b, j] = c.demand
+            write_frac[b, j] = c.write_fraction
+            live_mask[b, j] = True
+    return node_idx, mix, demand, write_frac, live_mask
 
 
 def solve_batch(
@@ -744,39 +865,15 @@ def solve_batch(
     batches = [list(cs) for cs in consumer_batches]
     if not batches:
         return []
-    num_nodes = machine.num_nodes
-    lives: List[List[Consumer]] = []
-    for cs in batches:
-        lv = [c for c in cs if not c.is_idle]
-        keys = [c.key() for c in lv]
-        if len(set(keys)) != len(keys):
-            raise ValueError(f"duplicate consumer keys: {sorted(keys)}")
-        for c in lv:
-            if not 0 <= c.node < num_nodes:
-                raise ValueError(f"consumer node {c.node} outside machine")
-            if len(c.mix) > num_nodes:
-                raise ValueError(
-                    f"mix has {len(c.mix)} entries for a {num_nodes}-node machine"
-                )
-        lives.append(lv)
+    lives = [_live_consumers(machine, cs) for cs in batches]
     max_live = max(len(lv) for lv in lives)
     if max_live == 0:
         return [_empty_allocation(cs) for cs in batches]
 
     num_batch = len(batches)
-    node_idx = np.zeros((num_batch, max_live), dtype=np.intp)
-    mix = np.zeros((num_batch, max_live, num_nodes))
-    demand = np.zeros((num_batch, max_live))
-    write_frac = np.zeros((num_batch, max_live))
-    live_mask = np.zeros((num_batch, max_live), dtype=bool)
-    for b, lv in enumerate(lives):
-        for j, c in enumerate(lv):
-            node_idx[b, j] = c.node
-            m = np.asarray(c.mix, dtype=float)
-            mix[b, j, : len(m)] = m
-            demand[b, j] = c.demand
-            write_frac[b, j] = c.write_fraction
-            live_mask[b, j] = True
+    node_idx, mix, demand, write_frac, live_mask = _pack_consumers(
+        lives, machine.num_nodes, max_live
+    )
     arrays = solve_batch_arrays(
         machine,
         node_idx,
@@ -791,6 +888,154 @@ def solve_batch(
         _allocation_from_batch(batches[b], lives[b], arrays, b)
         for b in range(num_batch)
     ]
+
+
+class FleetBatch:
+    """Lazy view over one fleet-batched solve.
+
+    :meth:`allocation` materialises one entry into a full
+    :class:`Allocation` (memoised); :meth:`app_total_rate` reads an
+    application's aggregate rate straight off the dense rate tensor.
+    Both are bitwise-identical to ``solve(machine, consumers)`` run on
+    that entry alone, so a caller that only needs scores for most
+    entries (the fleet scheduler: thousands of candidates, a handful of
+    winners) skips the per-entry dict construction entirely.
+    """
+
+    __slots__ = (
+        "_pairs",
+        "_lives",
+        "_tables",
+        "_rates",
+        "_util",
+        "_bottleneck",
+        "_touched",
+        "_caps",
+        "_allocs",
+    )
+
+    def __init__(self, pairs, lives, tables, rates, util, bottleneck, touched, caps):
+        self._pairs = pairs
+        self._lives = lives
+        self._tables = tables
+        self._rates = rates
+        self._util = util
+        self._bottleneck = bottleneck
+        self._touched = touched
+        self._caps = caps
+        self._allocs: List[Optional[Allocation]] = [None] * len(pairs)
+
+    def __len__(self) -> int:
+        return len(self._allocs)
+
+    def allocation(self, i: int) -> Allocation:
+        """Full :class:`Allocation` of entry ``i`` (built on first use)."""
+        alloc = self._allocs[i]
+        if alloc is None:
+            if self._rates is None:  # every entry in the batch was idle
+                alloc = _empty_allocation(self._pairs[i][1])
+            else:
+                alloc = _allocation_from_rows(
+                    self._pairs[i][1],
+                    self._lives[i],
+                    self._tables[i].res_keys,
+                    self._rates[i],
+                    self._bottleneck[i],
+                    self._touched[i],
+                    self._util[i],
+                    self._caps[i],
+                )
+            self._allocs[i] = alloc
+        return alloc
+
+    def app_total_rate(self, i: int, app_id: str) -> float:
+        """Aggregate rate of ``app_id`` in entry ``i``.
+
+        Sums the app's live-consumer rates in consumer order — the same
+        floats in the same order as
+        ``allocation(i).app_total_rate(app_id)`` (idle consumers only
+        ever contribute an exact ``+ 0.0``), so scores taken here and
+        scores taken from materialised allocations are interchangeable.
+        """
+        if self._rates is None:
+            return 0.0
+        total = 0.0
+        row = self._rates[i]
+        for j, c in enumerate(self._lives[i]):
+            if c.app_id == app_id:
+                total += float(row[j])
+        return total
+
+
+def solve_batch_fleet_lazy(
+    entries: Iterable[Tuple[Machine, Sequence[Consumer]]],
+    mc_model: MCModel = DEFAULT_MC_MODEL,
+) -> FleetBatch:
+    """Solve consumer sets on *heterogeneous* machines in one filling pass.
+
+    The fleet scheduler scores every (app x machine x worker-set) candidate
+    placement per tick; this entry point takes ``(machine, consumers)``
+    pairs spanning different topologies and returns a lazy
+    :class:`FleetBatch`, each of whose entries is bitwise-identical to
+    ``solve(machine, consumers)`` run alone. Entries are grouped by machine
+    (the memoised :class:`MachineTables` identity — fleet machines of the
+    same class should share one :class:`~repro.topology.machine.Machine`
+    object), the per-group setup runs exactly as in :func:`solve_batch`,
+    and the groups are padded onto a fleet-wide
+    ``(entries, resources, consumers)`` tensor: padded resource rows are
+    untouched with infinite capacity and zero incidence and padded
+    consumer slots are dead, so both are exact no-ops in
+    :func:`_progressive_fill` and the stacking never perturbs a result.
+    """
+    pairs = [(m, list(cs)) for m, cs in entries]
+    lives = [_live_consumers(m, cs) for m, cs in pairs]
+    if not pairs or max(len(lv) for lv in lives) == 0:
+        return FleetBatch(pairs, lives, None, None, None, None, None, None)
+    max_live = max(len(lv) for lv in lives)
+
+    tables = [machine_tables(m) for m, _ in pairs]
+    groups: "OrderedDict[int, List[int]]" = OrderedDict()
+    for i, t in enumerate(tables):
+        groups.setdefault(id(t), []).append(i)
+
+    num_batch = len(pairs)
+    max_res = max(t.num_res for t in tables)
+    A_all = np.zeros((num_batch, max_res, max_live))
+    caps_all = np.full((num_batch, max_res), np.inf)
+    touched_all = np.zeros((num_batch, max_res), dtype=bool)
+    demand_all = np.zeros((num_batch, max_live))
+    live_all = np.zeros((num_batch, max_live), dtype=bool)
+    for idxs in groups.values():
+        machine = pairs[idxs[0]][0]
+        node_idx, mix, demand, write_frac, live_mask = _pack_consumers(
+            [lives[i] for i in idxs], machine.num_nodes, max_live
+        )
+        t, A, caps, touched, demand, live_mask = _batch_setup(
+            machine, node_idx, mix, demand, write_frac, live_mask, mc_model
+        )
+        rows = np.asarray(idxs, dtype=np.intp)
+        A_all[rows, : t.num_res, :] = A
+        caps_all[rows, : t.num_res] = caps
+        touched_all[rows, : t.num_res] = touched
+        demand_all[rows] = demand
+        live_all[rows] = live_mask
+
+    rates, _load, util, bottleneck_row = _progressive_fill(
+        A_all, caps_all, touched_all, demand_all, live_all
+    )
+    return FleetBatch(
+        pairs, lives, tables, rates, util, bottleneck_row, touched_all, caps_all
+    )
+
+
+def solve_batch_fleet(
+    entries: Iterable[Tuple[Machine, Sequence[Consumer]]],
+    mc_model: MCModel = DEFAULT_MC_MODEL,
+) -> List[Allocation]:
+    """Eager form of :func:`solve_batch_fleet_lazy`: one
+    :class:`Allocation` per ``(machine, consumers)`` pair."""
+    batch = solve_batch_fleet_lazy(entries, mc_model)
+    return [batch.allocation(i) for i in range(len(batch))]
 
 
 def solve(

@@ -65,11 +65,14 @@ class Consumer:
             raise ValueError(f"write_fraction must be in [0, 1], got {self.write_fraction}")
         if self.threads < 0:
             raise ValueError(f"threads must be non-negative, got {self.threads}")
+        # Cached so hot paths (idle filtering over thousands of fleet
+        # candidate entries) don't re-reduce the mix array per call.
+        object.__setattr__(self, "mix_total", float(total))
 
     @property
     def is_idle(self) -> bool:
         """True when this consumer generates no traffic."""
-        return self.demand == 0 or float(np.sum(self.mix)) == 0.0
+        return self.demand == 0 or self.mix_total == 0.0
 
     def key(self) -> Tuple[str, int]:
         """Stable identity used in allocation result maps."""

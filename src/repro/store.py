@@ -38,6 +38,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Optional
@@ -176,6 +177,24 @@ class StoreStats:
         )
 
 
+@dataclass
+class PruneStats:
+    """What one :meth:`ResultStore.prune` pass did."""
+
+    examined: int = 0
+    pruned: int = 0
+    pruned_bytes: int = 0
+    kept: int = 0
+    kept_bytes: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"pruned {self.pruned}/{self.examined} entries "
+            f"({self.pruned_bytes / 1e6:.2f} MB), kept {self.kept} "
+            f"({self.kept_bytes / 1e6:.2f} MB)"
+        )
+
+
 class ResultStore:
     """A directory of content-addressed JSON entries.
 
@@ -261,6 +280,69 @@ class ResultStore:
             except OSError:
                 pass
         return removed
+
+    def prune(
+        self,
+        *,
+        max_age_s: Optional[float] = None,
+        max_bytes: Optional[int] = None,
+        dry_run: bool = False,
+    ) -> "PruneStats":
+        """Evict entries by age and/or total size; returns what happened.
+
+        Age first: anything older than ``max_age_s`` (by mtime) goes.
+        Then, if the survivors still exceed ``max_bytes``, oldest entries
+        are evicted until the store fits. Ties and ordering are by
+        ``(mtime, path)`` so a prune is deterministic for a given tree.
+        A pruned entry is simply a future clean miss — the content
+        address recomputes and rewrites it, so pruning can never corrupt
+        a result, only un-cache it.
+        """
+        if max_age_s is None and max_bytes is None:
+            raise ValueError("prune needs max_age_s and/or max_bytes")
+        if max_age_s is not None and max_age_s < 0:
+            raise ValueError(f"max_age_s must be >= 0, got {max_age_s}")
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        entries = []
+        for path in self.root.glob("*/*.json"):
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            entries.append((st.st_mtime, str(path), path, st.st_size))
+        entries.sort()
+        stats = PruneStats(examined=len(entries))
+        now = time.time()
+        keep_bytes = 0
+        victims = []
+        survivors = []
+        for mtime, _key, path, size in entries:
+            if max_age_s is not None and now - mtime > max_age_s:
+                victims.append((path, size))
+            else:
+                survivors.append((path, size))
+                keep_bytes += size
+        if max_bytes is not None:
+            # survivors are oldest-first; evict from the front until we fit.
+            idx = 0
+            while keep_bytes > max_bytes and idx < len(survivors):
+                path, size = survivors[idx]
+                victims.append((path, size))
+                keep_bytes -= size
+                idx += 1
+        for path, size in victims:
+            stats.pruned += 1
+            stats.pruned_bytes += size
+            if not dry_run:
+                try:
+                    path.unlink()
+                except OSError:
+                    stats.pruned -= 1
+                    stats.pruned_bytes -= size
+        stats.kept = stats.examined - stats.pruned
+        stats.kept_bytes = keep_bytes
+        return stats
 
 
 # --------------------------------------------------------------------- #

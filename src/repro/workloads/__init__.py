@@ -14,8 +14,20 @@ from repro.workloads.suites import (
 )
 from repro.workloads.phases import Phase, PhasedWorkload, two_phase
 from repro.workloads.generator import WorkloadRanges, random_workload, workload_sweep
+from repro.workloads.arrivals import (
+    TRACE_KINDS,
+    ArrivalTrace,
+    TraceSpec,
+    build_trace,
+    trace_catalog,
+)
 
 __all__ = [
+    "TRACE_KINDS",
+    "ArrivalTrace",
+    "TraceSpec",
+    "build_trace",
+    "trace_catalog",
     "WorkloadSpec",
     "by_name",
     "canonical_stream",

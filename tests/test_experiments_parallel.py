@@ -151,3 +151,40 @@ class TestCliJobsFlag:
 
         with pytest.raises(ValueError):
             main(["machines", "--jobs", "0"])
+
+
+class TestHeartbeat:
+    def test_disabled_by_default_and_silent(self, monkeypatch, capsys):
+        monkeypatch.delenv("BWAP_HEARTBEAT", raising=False)
+        out = run_specs(specs_grid()[:2], jobs=1)
+        assert len(out) == 2
+        assert capsys.readouterr().err == ""
+
+    def test_serial_sweep_reports_progress_on_stderr(self, monkeypatch, capsys):
+        monkeypatch.setenv("BWAP_HEARTBEAT", "0.0001")
+        specs = specs_grid()
+        with_beat = run_specs(specs, jobs=1)
+        captured = capsys.readouterr()
+        # Progress on stderr only — stdout stays byte-identical.
+        assert captured.out == ""
+        assert f"[run_specs] {len(specs)}/{len(specs)}" in captured.err
+        # The heartbeat observes; it never perturbs results.
+        monkeypatch.delenv("BWAP_HEARTBEAT")
+        assert run_specs(specs, jobs=1) == with_beat
+
+    def test_garbage_interval_is_ignored(self, monkeypatch, capsys):
+        monkeypatch.setenv("BWAP_HEARTBEAT", "not-a-number")
+        run_specs(specs_grid()[:1], jobs=1)
+        assert capsys.readouterr().err == ""
+
+    def test_cli_heartbeat_flag(self, monkeypatch, capsys):
+        from repro.experiments.cli import main
+
+        monkeypatch.delenv("BWAP_HEARTBEAT", raising=False)
+        assert main(["machines", "--heartbeat", "0.0001"]) == 0
+        import os
+
+        assert os.environ.get("BWAP_HEARTBEAT") == "0.0001"
+        monkeypatch.delenv("BWAP_HEARTBEAT", raising=False)
+        with pytest.raises(SystemExit):
+            main(["machines", "--heartbeat", "-1"])

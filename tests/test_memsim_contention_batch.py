@@ -11,7 +11,13 @@ per-app groupings).
 import numpy as np
 import pytest
 
-from repro.memsim.contention import Allocation, solve, solve_batch
+from repro.memsim.contention import (
+    Allocation,
+    solve,
+    solve_batch,
+    solve_batch_fleet,
+    solve_batch_fleet_lazy,
+)
 from repro.memsim.controller import DEFAULT_MC_MODEL
 from repro.memsim.flows import Consumer
 from repro.topology import fully_connected, machine_a, machine_b, ring
@@ -137,3 +143,47 @@ class TestDegenerateCases:
         c = Consumer("app:0", 0, 8, np.full(4, 0.25), 1.0)
         with pytest.raises(ValueError, match="duplicate consumer keys"):
             solve_batch(machine, [[c, c]], DEFAULT_MC_MODEL)
+
+
+class TestFleetBatchMatchesScalar:
+    """The heterogeneous fleet batch is the scalar solve re-expressed."""
+
+    def _fleet_entries(self, seed=1234, rounds=12):
+        # One shared Machine object per class, as the fleet layer holds
+        # them (machine_tables memoises per instance).
+        machines = [machine_a(), machine_b(), fully_connected(4), ring(6)]
+        rng = np.random.RandomState(seed)
+        entries = []
+        for _ in range(rounds):
+            m = machines[rng.randint(len(machines))]
+            entries.append((m, _random_consumers(rng, m, rng.randint(0, 7))))
+        return entries
+
+    def test_heterogeneous_entries_bitwise(self):
+        entries = self._fleet_entries()
+        fleet = solve_batch_fleet(entries, DEFAULT_MC_MODEL)
+        assert len(fleet) == len(entries)
+        for (m, cs), batched in zip(entries, fleet):
+            _assert_allocations_equal(batched, solve(m, cs, DEFAULT_MC_MODEL))
+
+    def test_lazy_batch_scores_match_allocations(self):
+        entries = self._fleet_entries(seed=7)
+        batch = solve_batch_fleet_lazy(entries, DEFAULT_MC_MODEL)
+        assert len(batch) == len(entries)
+        for i, (m, cs) in enumerate(entries):
+            scalar = solve(m, cs, DEFAULT_MC_MODEL)
+            for aid in {c.app_id for c in cs}:
+                # Score read off the rate tensor, before materialising.
+                assert batch.app_total_rate(i, aid) == scalar.app_total_rate(aid)
+            _assert_allocations_equal(batch.allocation(i), scalar)
+            # Memoised: the same Allocation object comes back.
+            assert batch.allocation(i) is batch.allocation(i)
+
+    def test_empty_and_all_idle_fleet(self):
+        assert solve_batch_fleet([], DEFAULT_MC_MODEL) == []
+        m = fully_connected(4)
+        idle = [Consumer("app:0", 0, 4, np.zeros(4), 0.0)]
+        batch = solve_batch_fleet_lazy([(m, idle), (m, [])], DEFAULT_MC_MODEL)
+        assert batch.app_total_rate(0, "app:0") == 0.0
+        _assert_allocations_equal(batch.allocation(0), solve(m, idle))
+        _assert_allocations_equal(batch.allocation(1), solve(m, []))

@@ -317,6 +317,90 @@ class TestFaultMatrixThroughStore:
         assert first == second == reference
 
 
+class TestStorePrune:
+    def _populated(self, tmp_path, n=6):
+        store = ResultStore(tmp_path / "store")
+        fps = [fingerprint("prune-test", i) for i in range(n)]
+        for fp in fps:
+            store.put(fp, {"i": fp})
+        return store, fps
+
+    def test_age_prune_evicts_only_old_entries(self, tmp_path):
+        store, fps = self._populated(tmp_path)
+        old = [store.path_for(fp) for fp in fps[:3]]
+        for path in old:
+            os.utime(path, (1.0, 1.0))  # 1970: far past any age bound
+        stats = store.prune(max_age_s=3600.0)
+        assert (stats.examined, stats.pruned, stats.kept) == (6, 3, 3)
+        assert not any(p.exists() for p in old)
+        for fp in fps[3:]:
+            assert store.get(fp) == {"i": fp}
+
+    def test_size_prune_keeps_newest_within_budget(self, tmp_path):
+        store, fps = self._populated(tmp_path)
+        # Stagger mtimes so "oldest first" is unambiguous.
+        for i, fp in enumerate(fps):
+            os.utime(store.path_for(fp), (i + 1.0, i + 1.0))
+        sizes = [store.path_for(fp).stat().st_size for fp in fps]
+        budget = sum(sizes[-2:])  # room for exactly the two newest
+        stats = store.prune(max_bytes=budget)
+        assert stats.pruned == 4 and stats.kept == 2
+        assert stats.kept_bytes <= budget
+        assert store.path_for(fps[-1]).exists()
+        assert store.path_for(fps[-2]).exists()
+
+    def test_dry_run_deletes_nothing(self, tmp_path):
+        store, fps = self._populated(tmp_path)
+        stats = store.prune(max_bytes=0, dry_run=True)
+        assert stats.pruned == 6
+        assert len(store) == 6
+        assert "pruned 6/6" in stats.summary()
+
+    def test_prune_requires_a_bound(self, tmp_path):
+        store, _fps = self._populated(tmp_path, n=1)
+        with pytest.raises(ValueError, match="max_age_s and/or max_bytes"):
+            store.prune()
+
+    def test_pruned_entries_become_clean_misses(self, tmp_path):
+        """The contract the CLI documents: pruning only un-caches — the
+        next run recomputes bitwise-equal results and repopulates."""
+        store = ResultStore(tmp_path / "store")
+        spec = small_spec()
+        first = run_spec(spec, store=store)
+        assert (store.stats.misses, store.stats.hits) == (1, 0)
+        stats = store.prune(max_bytes=0)
+        assert stats.pruned == 1 and len(store) == 0
+        second = run_spec(spec, store=store)  # clean miss: recompute
+        assert store.stats.misses == 2 and store.stats.corrupt == 0
+        assert second == first
+        assert second.to_payload() == first.to_payload()
+        third = run_spec(spec, store=store)  # repopulated: hit again
+        assert store.stats.hits == 1
+        assert third == first
+
+    def test_cli_store_prune_subcommand(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        store, _fps = self._populated(tmp_path)
+        assert (
+            main(["store-prune", "--max-size-mb", "0", "--dry-run",
+                  "--dir", str(store.root)])
+            == 0
+        )
+        assert len(store) == 6  # dry run
+        out = capsys.readouterr().out
+        assert "dry run" in out and "pruned 6/6" in out
+        assert main(["store-prune", "--max-size-mb", "0",
+                     "--dir", str(store.root)]) == 0
+        assert len(store) == 0
+
+    def test_cli_store_prune_requires_bound(self):
+        from repro.experiments.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["store-prune"])
+
+
 def test_env_gating_values(monkeypatch):
     for off in ("0", "off", "FALSE", "no", ""):
         monkeypatch.setenv("BWAP_STORE", off)
