@@ -22,6 +22,7 @@ from repro.core.interleave import (
 )
 from repro.core.dwp import (
     CoScheduledDWPTuner,
+    DWPProbeSession,
     DWPStep,
     DWPTuner,
     combine_weights,
@@ -64,6 +65,7 @@ __all__ = [
     "apply_weighted_user",
     "placement_error",
     "CoScheduledDWPTuner",
+    "DWPProbeSession",
     "DWPStep",
     "DWPTuner",
     "combine_weights",

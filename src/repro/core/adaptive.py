@@ -115,6 +115,12 @@ class AdaptiveBWAP(Tuner):
         When set, each search runs as a
         :class:`~repro.core.hardening.HardenedDWPTuner` with these knobs;
         ``None`` keeps the plain climb.
+    warm_start:
+        Forwarded to every inner search (float or predictor, see
+        :class:`DWPTuner`): each triggered search then jumps to the
+        predicted DWP in one placement move and only polishes from there.
+        Because the adaptive variant runs the kernel back end, a re-tune
+        after a phase change re-predicts and can jump *down* as well.
     """
 
     def __init__(
@@ -128,16 +134,19 @@ class AdaptiveBWAP(Tuner):
         warmup_s: float = 0.5,
         tolerance: float = 0.02,
         hardening: Optional["HardeningConfig"] = None,
+        warm_start=None,
     ):
         self.app = app
         self.canonical = np.asarray(canonical_weights, dtype=float)
         self.config = config
         self.hardening = hardening
+        self.warm_start = warm_start
         self._tuner_kwargs = dict(
             config=measurement,
             step=step,
             warmup_s=warmup_s,
             tolerance=tolerance,
+            warm_start=warm_start,
             # Re-tuning needs widening migrations: kernel back end only.
             mode="kernel",
         )

@@ -50,6 +50,16 @@ class BWAPConfig:
         (EWMA smoothing, hysteresis, migration retry, watchdog rollback,
         graceful degradation — see :mod:`repro.core.hardening`). ``None``
         keeps the paper's plain climb.
+    warm_start:
+        Fixed starting DWP in [0, 1]: the tuner jumps there in one
+        placement move at ``BWAP-init`` and hill-climbs only to polish
+        (``None`` keeps the paper's climb from DWP = 0). Deliberately a
+        plain float — not a predictor object — so the config stays
+        picklable and canonically fingerprintable inside a
+        :class:`~repro.experiments.common.ScenarioSpec`; callers holding
+        a :class:`repro.learn.WarmStartPredictor` resolve the prediction
+        first (:meth:`~repro.learn.WarmStartPredictor.predict`) or pass
+        the predictor straight to :class:`~repro.core.dwp.DWPTuner`.
     """
 
     step: float = 0.10
@@ -59,6 +69,13 @@ class BWAPConfig:
     warmup_s: float = 0.5
     tolerance: float = 0.02
     hardening: Optional[HardeningConfig] = None
+    warm_start: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.warm_start is not None and not 0.0 <= self.warm_start <= 1.0:
+            raise ValueError(
+                f"warm_start must be in [0, 1] or None, got {self.warm_start}"
+            )
 
 
 def canonical_or_uniform(
@@ -107,6 +124,7 @@ def bwap_init(
         mode=config.mode,
         warmup_s=config.warmup_s,
         tolerance=config.tolerance,
+        warm_start=config.warm_start,
     )
     if config.hardening is not None:
         common["hardening"] = config.hardening

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -65,6 +65,83 @@ def combine_weights(
     return out
 
 
+class DWPProbeSession:
+    """Memoised DWP-ladder prober for one fixed deployment.
+
+    Wraps one batched analytic evaluator plus a per-DWP score memo, so
+    re-entering with a narrower (or overlapping) DWP range — the
+    warm-start polish pattern, and the oracle labeller's coarse-then-
+    refine sweep — only evaluates the candidates the memo has not seen.
+    Memoised scores are bitwise-identical to a fresh
+    :func:`dwp_probe_curve` call: batch rows are independent in
+    ``evaluate_many`` (every cross-consumer reduction runs over fixed
+    machine axes), so scoring a subset in a smaller batch reproduces the
+    full-batch values exactly.
+    """
+
+    def __init__(
+        self,
+        machine,
+        workload,
+        worker_nodes: Sequence[int],
+        canonical: Sequence[float],
+        *,
+        mc_model=None,
+        num_threads: Optional[int] = None,
+    ):
+        from repro.core.search import make_analytic_evaluator
+        from repro.memsim.controller import DEFAULT_MC_MODEL
+
+        self.machine = machine
+        self.workload = workload
+        self.workers = tuple(worker_nodes)
+        self.canonical = np.asarray(canonical, dtype=float)
+        self._evaluator = make_analytic_evaluator(
+            machine,
+            workload,
+            self.workers,
+            mc_model=DEFAULT_MC_MODEL if mc_model is None else mc_model,
+            num_threads=num_threads,
+        )
+        self._memo: Dict[float, float] = {}
+        #: Evaluator rows actually scored (memo hits excluded).
+        self.evaluations = 0
+
+    @property
+    def memo_size(self) -> int:
+        """Distinct DWP values scored so far."""
+        return len(self._memo)
+
+    def probe(self, dwp_values: Sequence[float]) -> np.ndarray:
+        """Analytic execution time at each DWP value, memo-backed."""
+        dwps = [float(d) for d in dwp_values]
+        if not dwps:
+            raise ValueError("dwp_values must not be empty")
+        fresh: List[float] = []
+        queued = set()
+        for d in dwps:
+            if d not in self._memo and d not in queued:
+                queued.add(d)
+                fresh.append(d)
+        if fresh:
+            weight_matrix = np.stack(
+                [combine_weights(self.canonical, self.workers, d) for d in fresh]
+            )
+            values = self._evaluator.evaluate_many(weight_matrix)
+            for d, v in zip(fresh, values):
+                self._memo[d] = float(v)
+            self.evaluations += len(fresh)
+        return np.array([self._memo[d] for d in dwps])
+
+    def best(self, dwp_values: Sequence[float]) -> Tuple[float, float]:
+        """``(dwp, time)`` minimising the probed ladder (first minimum
+        wins, matching ``np.argmin``)."""
+        dwps = [float(d) for d in dwp_values]
+        times = self.probe(dwps)
+        i = int(np.argmin(times))
+        return dwps[i], float(times[i])
+
+
 def dwp_probe_curve(
     machine,
     workload,
@@ -74,6 +151,7 @@ def dwp_probe_curve(
     *,
     mc_model=None,
     num_threads: Optional[int] = None,
+    session: Optional[DWPProbeSession] = None,
 ) -> np.ndarray:
     """Analytic execution time at each DWP value, in one batched pass.
 
@@ -83,24 +161,22 @@ def dwp_probe_curve(
     evaluator. One vectorised contention solve per filling round covers
     all DWP values, so probing a full curve costs barely more than a
     single point — this is what the DWP ablation experiments sweep.
-    """
-    from repro.core.search import make_analytic_evaluator
-    from repro.memsim.controller import DEFAULT_MC_MODEL
 
-    dwps = [float(d) for d in dwp_values]
-    if not dwps:
-        raise ValueError("dwp_values must not be empty")
-    weight_matrix = np.stack(
-        [combine_weights(canonical, worker_nodes, d) for d in dwps]
-    )
-    evaluator = make_analytic_evaluator(
-        machine,
-        workload,
-        worker_nodes,
-        mc_model=DEFAULT_MC_MODEL if mc_model is None else mc_model,
-        num_threads=num_threads,
-    )
-    return evaluator.evaluate_many(weight_matrix)
+    Pass a :class:`DWPProbeSession` (``session=``) to re-enter the same
+    deployment with further — typically narrower — DWP ranges without
+    re-scoring candidates the session's memo already holds; the other
+    deployment arguments are then ignored in favour of the session's.
+    """
+    if session is None:
+        session = DWPProbeSession(
+            machine,
+            workload,
+            worker_nodes,
+            canonical,
+            mc_model=mc_model,
+            num_threads=num_threads,
+        )
+    return session.probe(dwp_values)
 
 
 @dataclass(frozen=True)
@@ -141,6 +217,14 @@ class DWPTuner(Tuner):
         Settling time after a placement change before measuring.
     tolerance:
         Relative stall-rate improvement below which the climb stops.
+    warm_start:
+        Optional starting DWP for the climb: a float in [0, 1], or a
+        predictor — any object with a ``predict_dwp(app, canonical)``
+        method (see :class:`repro.learn.WarmStartPredictor`) or a plain
+        callable ``f(app, canonical) -> float``. At ``BWAP-init`` the
+        tuner then jumps straight to that DWP in one placement move and
+        hill-climbs only to polish; ``None`` (the default) keeps the
+        paper's climb from DWP = 0, bit-for-bit.
     """
 
     def __init__(
@@ -153,6 +237,7 @@ class DWPTuner(Tuner):
         mode: str = "user",
         warmup_s: float = 0.5,
         tolerance: float = 0.0,
+        warm_start=None,
     ):
         if not 0 < step <= 1:
             raise ValueError(f"step must be in (0, 1], got {step}")
@@ -160,6 +245,8 @@ class DWPTuner(Tuner):
             raise ValueError(f"warmup must be non-negative, got {warmup_s}")
         if tolerance < 0:
             raise ValueError(f"tolerance must be non-negative, got {tolerance}")
+        if isinstance(warm_start, (int, float)) and not 0.0 <= float(warm_start) <= 1.0:
+            raise ValueError(f"warm_start must be in [0, 1], got {warm_start}")
         self.app = app
         self.canonical = np.asarray(canonical_weights, dtype=float)
         self.step = step
@@ -167,6 +254,9 @@ class DWPTuner(Tuner):
         self.mode = mode
         self.warmup_s = warmup_s
         self.tolerance = tolerance
+        self.warm_start = warm_start
+        #: The DWP the warm start actually jumped to (None without one).
+        self.warm_started_dwp: Optional[float] = None
 
         self.dwp = 0.0
         self.trajectory: List[DWPStep] = []
@@ -178,8 +268,27 @@ class DWPTuner(Tuner):
     # Tuner interface
     # ------------------------------------------------------------------ #
 
+    def _resolve_warm_start(self) -> float:
+        """The starting DWP a ``warm_start`` argument denotes."""
+        value = self.warm_start
+        if not isinstance(value, (int, float)):
+            predict = getattr(value, "predict_dwp", None)
+            value = (
+                predict(self.app, self.canonical)
+                if predict is not None
+                else value(self.app, self.canonical)
+            )
+        value = float(value)
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"warm start predicted DWP {value} outside [0, 1]")
+        return value
+
     def on_start(self, sim: Simulator) -> None:
-        """BWAP-init: place pages at the canonical distribution (DWP = 0)."""
+        """BWAP-init: place pages at the canonical distribution (DWP = 0),
+        or — with a warm start — jump to the predicted DWP in one move."""
+        if self.warm_start is not None:
+            self.dwp = self._resolve_warm_start()
+            self.warm_started_dwp = self.dwp
         self._apply(sim, self.dwp)
         self._next_action = sim.now + self.warmup_s + self._measurement_wall_s()
 

@@ -43,6 +43,11 @@ from repro.experiments.fault_matrix import (
     run_fault_matrix,
 )
 from repro.experiments.robustness import RobustnessResult, run_robustness
+from repro.experiments.warmstart import (
+    WarmStartCell,
+    WarmStartResult,
+    run_warmstart,
+)
 from repro.experiments.sensitivity import (
     AsymmetrySweepResult,
     WorkerSweepResult,
@@ -108,6 +113,9 @@ __all__ = [
     "run_fault_matrix",
     "RobustnessResult",
     "run_robustness",
+    "WarmStartCell",
+    "WarmStartResult",
+    "run_warmstart",
     "AsymmetrySweepResult",
     "WorkerSweepResult",
     "asymmetric_machine",

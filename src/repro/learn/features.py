@@ -1,0 +1,209 @@
+"""Feature extraction for learned DWP prediction.
+
+The model sees exactly what BWAP itself can observe before tuning starts:
+
+* **Counter features** — the Table-I-style access characterisation that a
+  short profiling run produces (:meth:`AccessCharacterisation.features`).
+  At dataset-build time *and* at serve time the characterisation comes
+  from the same code path — a short uniform-all profiling run on a fresh
+  simulator — so the distribution the model was trained on is the
+  distribution it predicts on.
+* **Topology features** — summary statistics of the machine's profiled
+  bandwidth matrix and of the chosen worker set (node count, link
+  asymmetry, local:remote capacity ratios, canonical worker mass). These
+  are free: the canonical tuner already profiled the matrix at install
+  time.
+
+The combined vector's field order is stable and named by
+:data:`FEATURE_NAMES`; appending is allowed, reordering/removing requires
+a checkpoint version bump in :mod:`repro.learn.model`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.app import Application
+from repro.engine.sim import Simulator
+from repro.memsim.policies import UniformAll
+from repro.perf.profiler import (
+    CHARACTERISATION_FEATURE_NAMES,
+    AccessCharacterisation,
+    AccessProfiler,
+)
+from repro.topology.machine import Machine
+from repro.workloads.base import WorkloadSpec
+
+#: Stable field order of :func:`topology_features`.
+TOPOLOGY_FEATURE_NAMES: Tuple[str, ...] = (
+    "num_nodes",
+    "num_workers",
+    "worker_fraction",
+    "local_bw_mean",
+    "local_bw_min",
+    "remote_bw_mean",
+    "remote_bw_max",
+    "remote_asymmetry",
+    "remote_to_local_ratio",
+    "worker_local_capacity_fraction",
+    "canonical_worker_mass",
+)
+
+#: Features derived from the profiling run and the deployment jointly —
+#: most importantly the demand:capacity ratios, the first-order driver of
+#: where the optimal DWP lies (ample worker-local capacity pulls pages
+#: toward the workers; demand beyond it pushes mass out across the
+#: canonical distribution).
+PROFILE_FEATURE_NAMES: Tuple[str, ...] = (
+    "profile_stall_fraction",
+    "profile_throughput_gbps",
+    "demand_to_worker_capacity",
+    "demand_to_machine_capacity",
+)
+
+#: Stable field order of the combined :func:`feature_vector`.
+FEATURE_NAMES: Tuple[str, ...] = (
+    CHARACTERISATION_FEATURE_NAMES + PROFILE_FEATURE_NAMES + TOPOLOGY_FEATURE_NAMES
+)
+
+#: Traffic cap for the profiling run that produces counter features. The
+#: characterisation only needs steady-state rates, not a full execution,
+#: so the workload is truncated to this many bytes of work — a profiling
+#: run is then a few simulated seconds regardless of the real job length.
+PROFILE_WORK_BYTES: float = 20e9
+
+
+def topology_features(
+    machine: Machine,
+    worker_nodes: Sequence[int],
+    canonical: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Topology feature vector (fields named by TOPOLOGY_FEATURE_NAMES).
+
+    ``canonical`` is the canonical weight distribution for this worker
+    set; when omitted the ``canonical_worker_mass`` feature is computed
+    from a fresh :class:`~repro.core.canonical.CanonicalTuner`.
+    """
+    workers = tuple(int(w) for w in worker_nodes)
+    n = machine.num_nodes
+    matrix = machine.nominal_bandwidth_matrix()
+    diag = np.diag(matrix)
+    if n > 1:
+        off = matrix[~np.eye(n, dtype=bool)]
+        remote_mean = float(off.mean())
+        remote_max = float(off.max())
+        remote_asymmetry = float(off.max() / off.min())
+    else:
+        remote_mean = remote_max = float(diag[0])
+        remote_asymmetry = 1.0
+    if canonical is None:
+        from repro.core.canonical import CanonicalTuner
+
+        canonical = CanonicalTuner(machine).weights(workers)
+    canonical = np.asarray(canonical, dtype=float)
+    worker_mask = np.zeros(n, dtype=bool)
+    worker_mask[list(workers)] = True
+    return np.array(
+        [
+            float(n),
+            float(len(workers)),
+            len(workers) / n,
+            float(diag.mean()),
+            float(diag.min()),
+            remote_mean,
+            remote_max,
+            remote_asymmetry,
+            remote_mean / float(diag.mean()),
+            float(diag[worker_mask].sum() / diag.sum()),
+            float(canonical[worker_mask].sum()),
+        ],
+        dtype=np.float64,
+    )
+
+
+def _profile_run(
+    machine: Machine,
+    workload: WorkloadSpec,
+    worker_nodes: Sequence[int],
+    *,
+    num_threads: Optional[int] = None,
+) -> Tuple[AccessCharacterisation, float, float]:
+    """One short profiling run: (characterisation, stall, throughput).
+
+    Runs the workload (truncated to :data:`PROFILE_WORK_BYTES` of work)
+    on its worker set under uniform-all placement — the unconstrained-
+    bandwidth conditions Table I profiles under. Both the dataset builder
+    and the serve-time :class:`~repro.learn.model.WarmStartPredictor`
+    call this exact function, which is what keeps training and serving
+    consistent.
+    """
+    profiled = dataclasses.replace(
+        workload, work_bytes=min(float(workload.work_bytes), PROFILE_WORK_BYTES)
+    )
+    sim = Simulator(machine)
+    sim.add_app(
+        Application(
+            "profile",
+            profiled,
+            machine,
+            tuple(int(w) for w in worker_nodes),
+            num_threads=num_threads,
+            policy=UniformAll(),
+        )
+    )
+    result = sim.run()
+    tele = result.telemetry["profile"]
+    profiler = AccessProfiler(workload.name)
+    profiler.extend(tele.traffic)
+    return (
+        profiler.characterise(),
+        float(tele.mean_stall_fraction),
+        float(tele.mean_throughput_gbps),
+    )
+
+
+def profile_characterisation(
+    machine: Machine,
+    workload: WorkloadSpec,
+    worker_nodes: Sequence[int],
+    *,
+    num_threads: Optional[int] = None,
+) -> AccessCharacterisation:
+    """Counter characterisation from a short stand-alone profiling run."""
+    char, _, _ = _profile_run(machine, workload, worker_nodes, num_threads=num_threads)
+    return char
+
+
+def feature_vector(
+    machine: Machine,
+    workload: WorkloadSpec,
+    worker_nodes: Sequence[int],
+    canonical: Optional[np.ndarray] = None,
+    *,
+    num_threads: Optional[int] = None,
+) -> np.ndarray:
+    """The full model input: counter ++ profile ++ topology features.
+
+    Field order is :data:`FEATURE_NAMES`; float64 throughout.
+    """
+    char, stall, throughput = _profile_run(
+        machine, workload, worker_nodes, num_threads=num_threads
+    )
+    counters = char.features()
+    diag = np.diag(machine.nominal_bandwidth_matrix())
+    demand_gbps = counters[2] / 1000.0  # total_mbps -> GB/s
+    worker_capacity = float(diag[list(int(w) for w in worker_nodes)].sum())
+    profile = np.array(
+        [
+            stall,
+            throughput,
+            demand_gbps / worker_capacity,
+            demand_gbps / float(diag.sum()),
+        ],
+        dtype=np.float64,
+    )
+    topo = topology_features(machine, worker_nodes, canonical)
+    return np.concatenate([counters, profile, topo])

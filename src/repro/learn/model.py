@@ -1,0 +1,267 @@
+"""A small, dependency-free learned DWP predictor.
+
+Ridge regression over standardised features (optionally with squared
+terms for mild non-linearity), solved in closed form with numpy — no new
+dependencies, bit-deterministic given the same dataset. The fitted model
+serialises to a versioned ``.npz`` checkpoint (written with the same
+deterministic writer as datasets) that is committed under ``models/`` so
+experiments and CI never retrain unless asked to.
+
+:class:`WarmStartPredictor` wraps a fitted model into the object the
+tuners accept as ``warm_start=``: it featurises a deployment through the
+same profiling path the dataset builder used, predicts the optimal DWP,
+and *floor-snaps* the prediction to the climb's step grid minus a safety
+backoff. The snap deliberately undershoots: the user-mode back end can
+only narrow the distribution (raise DWP), so approaching the optimum
+from below keeps the standard first-non-improvement stopping rule sound,
+whereas overshooting would strand the climb above the optimum.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.learn.dataset import Dataset, write_npz
+from repro.learn.features import FEATURE_NAMES, feature_vector
+from repro.store import fingerprint
+from repro.topology.machine import Machine
+
+#: Version of the checkpoint layout; loading refuses a mismatch.
+CHECKPOINT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RidgeModel:
+    """A fitted ridge regressor: ``dwp ~ w . phi((x - mean) / scale)``.
+
+    ``weights[0]`` is the bias; the remainder align with the standardised
+    features, followed by the full degree-2 basis (squares and pairwise
+    interactions) when ``quadratic``.
+    """
+
+    feature_names: Tuple[str, ...]
+    mean: np.ndarray
+    scale: np.ndarray
+    weights: np.ndarray
+    quadratic: bool
+    l2: float
+
+    def _design(self, X: np.ndarray) -> np.ndarray:
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        if X.shape[1] != len(self.feature_names):
+            raise ValueError(
+                f"feature width {X.shape[1]} != model schema {len(self.feature_names)}"
+            )
+        Z = (X - self.mean) / self.scale
+        if self.quadratic:
+            # Full degree-2 basis: squares and pairwise interactions of the
+            # standardised features (e.g. demand:capacity x asymmetry).
+            iu = np.triu_indices(Z.shape[1])
+            Z = np.hstack([Z, Z[:, iu[0]] * Z[:, iu[1]]])
+        return np.hstack([np.ones((Z.shape[0], 1)), Z])
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted DWP per row, clipped to the valid [0, 1] range."""
+        return np.clip(self._design(X) @ self.weights, 0.0, 1.0)
+
+    def save(self, path) -> None:
+        """Write a byte-deterministic versioned checkpoint."""
+        write_npz(
+            path,
+            {
+                "version": np.array([CHECKPOINT_VERSION], dtype=np.int64),
+                "feature_names": np.array(self.feature_names, dtype=np.str_),
+                "mean": np.asarray(self.mean, dtype=np.float64),
+                "scale": np.asarray(self.scale, dtype=np.float64),
+                "weights": np.asarray(self.weights, dtype=np.float64),
+                "quadratic": np.array([int(self.quadratic)], dtype=np.int64),
+                "l2": np.array([float(self.l2)], dtype=np.float64),
+            },
+        )
+
+    @classmethod
+    def load(cls, path) -> "RidgeModel":
+        with np.load(path, allow_pickle=False) as data:
+            version = int(data["version"][0])
+            if version != CHECKPOINT_VERSION:
+                raise ValueError(
+                    f"checkpoint version {version} != supported {CHECKPOINT_VERSION}"
+                )
+            return cls(
+                feature_names=tuple(str(s) for s in data["feature_names"]),
+                mean=np.array(data["mean"], dtype=np.float64),
+                scale=np.array(data["scale"], dtype=np.float64),
+                weights=np.array(data["weights"], dtype=np.float64),
+                quadratic=bool(int(data["quadratic"][0])),
+                l2=float(data["l2"][0]),
+            )
+
+
+def train_ridge(
+    dataset: Dataset, *, l2: float = 0.1, quadratic: bool = True
+) -> RidgeModel:
+    """Fit a ridge model on a dataset (closed form, deterministic).
+
+    The bias column is unregularised; every other coefficient shrinks by
+    ``l2``. Constant features get unit scale (their standardised column
+    is zero, so they contribute nothing rather than dividing by zero).
+    """
+    if l2 < 0:
+        raise ValueError(f"l2 must be non-negative, got {l2}")
+    X = np.asarray(dataset.X, dtype=np.float64)
+    y = np.asarray(dataset.y, dtype=np.float64)
+    if X.ndim != 2 or X.shape[0] != y.shape[0] or X.shape[0] == 0:
+        raise ValueError(f"bad dataset shapes X{X.shape} y{y.shape}")
+    mean = X.mean(axis=0)
+    std = X.std(axis=0)
+    scale = np.where(std > 0, std, 1.0)
+    model = RidgeModel(
+        feature_names=tuple(dataset.feature_names),
+        mean=mean,
+        scale=scale,
+        weights=np.zeros(1),  # placeholder; replaced below
+        quadratic=quadratic,
+        l2=float(l2),
+    )
+    A = model._design(X)
+    reg = np.eye(A.shape[1]) * l2
+    reg[0, 0] = 0.0
+    weights = np.linalg.solve(A.T @ A + reg, A.T @ y)
+    return RidgeModel(
+        feature_names=model.feature_names,
+        mean=mean,
+        scale=scale,
+        weights=weights,
+        quadratic=quadratic,
+        l2=float(l2),
+    )
+
+
+def evaluate(model: RidgeModel, dataset: Dataset) -> Dict[str, float]:
+    """Prediction-quality metrics of a model on a dataset."""
+    pred = model.predict(dataset.X)
+    err = np.abs(pred - dataset.y)
+    return {
+        "n": float(len(err)),
+        "mae": float(err.mean()),
+        "rmse": float(np.sqrt((err * err).mean())),
+        "within_0_05": float((err <= 0.05).mean()),
+        "within_0_10": float((err <= 0.10).mean()),
+    }
+
+
+def holdout_evaluate(
+    dataset: Dataset,
+    *,
+    seed: int = 0,
+    test_fraction: float = 0.25,
+    l2: float = 0.1,
+    quadratic: bool = True,
+) -> Dict[str, float]:
+    """Train on a seeded split, report metrics on the held-out rows."""
+    if not 0 < test_fraction < 1:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    n = dataset.X.shape[0]
+    n_test = max(1, int(round(n * test_fraction)))
+    if n_test >= n:
+        raise ValueError(f"dataset of {n} rows is too small for a holdout split")
+    order = np.random.default_rng(seed).permutation(n)
+    test, train = order[:n_test], order[n_test:]
+
+    def subset(idx) -> Dataset:
+        return Dataset(
+            X=dataset.X[idx],
+            y=dataset.y[idx],
+            feature_names=dataset.feature_names,
+            rows=tuple(dataset.rows[i] for i in idx),
+        )
+
+    model = train_ridge(subset(train), l2=l2, quadratic=quadratic)
+    return evaluate(model, subset(test))
+
+
+class WarmStartPredictor:
+    """The ``warm_start=`` object: model + featurisation + snap policy.
+
+    Parameters
+    ----------
+    model:
+        A fitted :class:`RidgeModel` whose feature schema must match the
+        current :data:`~repro.learn.features.FEATURE_NAMES`.
+    step:
+        The climb's DWP increment; predictions snap down onto this grid.
+    backoff_steps:
+        Extra steps of undershoot after the floor-snap (default 1): the
+        climb then re-confirms the last increment itself, so a slightly
+        optimistic prediction still converges from below.
+    """
+
+    def __init__(
+        self, model: RidgeModel, *, step: float = 0.10, backoff_steps: int = 1
+    ):
+        if tuple(model.feature_names) != FEATURE_NAMES:
+            raise ValueError(
+                "model feature schema "
+                f"{model.feature_names} != current {FEATURE_NAMES}; retrain"
+            )
+        if step <= 0:
+            raise ValueError(f"step must be positive, got {step}")
+        if backoff_steps < 0:
+            raise ValueError(f"backoff_steps must be >= 0, got {backoff_steps}")
+        self.model = model
+        self.step = float(step)
+        self.backoff_steps = int(backoff_steps)
+        self._memo: Dict[str, float] = {}
+
+    def raw_prediction(
+        self,
+        machine: Machine,
+        workload,
+        worker_nodes: Sequence[int],
+        canonical: Optional[np.ndarray] = None,
+    ) -> float:
+        """The model's clipped prediction, before grid snapping."""
+        x = feature_vector(machine, workload, worker_nodes, canonical)
+        return float(self.model.predict(x)[0])
+
+    def snap(self, dwp: float) -> float:
+        """Floor onto the step grid, then back off ``backoff_steps``."""
+        grid = math.floor(dwp / self.step + 1e-9) - self.backoff_steps
+        return max(0.0, grid * self.step)
+
+    def predict(
+        self,
+        machine: Machine,
+        workload,
+        worker_nodes: Sequence[int],
+        canonical: Optional[np.ndarray] = None,
+    ) -> float:
+        """The warm-start DWP for one deployment (memoised).
+
+        Featurisation runs a short profiling simulation, so repeated
+        predictions for the same deployment (e.g. the adaptive tuner
+        re-tuning) are served from a content-addressed memo.
+        """
+        key = fingerprint(
+            "bwap.learn.predict", machine, workload, tuple(int(w) for w in worker_nodes)
+        )
+        if key not in self._memo:
+            self._memo[key] = self.snap(
+                self.raw_prediction(machine, workload, worker_nodes, canonical)
+            )
+        return self._memo[key]
+
+    def predict_dwp(self, app, canonical: np.ndarray) -> float:
+        """Tuner-facing hook (see :class:`repro.core.dwp.DWPTuner`)."""
+        return self.predict(app.machine, app.workload, app.worker_nodes, canonical)
+
+
+def load_predictor(path, *, step: float = 0.10, backoff_steps: int = 1) -> WarmStartPredictor:
+    """Load a committed checkpoint into a ready predictor."""
+    return WarmStartPredictor(
+        RidgeModel.load(path), step=step, backoff_steps=backoff_steps
+    )

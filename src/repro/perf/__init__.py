@@ -13,9 +13,15 @@ from repro.perf.stalls import (
     stall_rate_cycles_per_s,
 )
 from repro.perf.counters import CounterBank, MeasurementConfig, StallSample
-from repro.perf.profiler import AccessCharacterisation, AccessProfiler, TrafficSample
+from repro.perf.profiler import (
+    CHARACTERISATION_FEATURE_NAMES,
+    AccessCharacterisation,
+    AccessProfiler,
+    TrafficSample,
+)
 
 __all__ = [
+    "CHARACTERISATION_FEATURE_NAMES",
     "DEFAULT_LATENCY_MODEL",
     "LatencyModel",
     "WorkerLoad",

@@ -10,9 +10,23 @@ exactly those four quantities.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Iterable, List
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
 
 from repro.units import GB, MB
+
+#: Stable field order of :meth:`AccessCharacterisation.features`. Appending
+#: new features is allowed (consumers index by name through this tuple);
+#: reordering or removing fields requires a model-checkpoint version bump
+#: in :mod:`repro.learn.model`.
+CHARACTERISATION_FEATURE_NAMES: Tuple[str, ...] = (
+    "reads_mbps",
+    "writes_mbps",
+    "total_mbps",
+    "write_ratio",
+    "private_fraction",
+)
 
 
 @dataclass(frozen=True)
@@ -74,13 +88,52 @@ class AccessCharacterisation:
         """Tuple in the paper's column order."""
         return (self.name, self.reads_mbps, self.writes_mbps, self.private_pct, self.shared_pct)
 
+    def features(self) -> np.ndarray:
+        """Counter-feature vector for learned DWP prediction.
+
+        A float64 vector whose fields are named, in order, by
+        :data:`CHARACTERISATION_FEATURE_NAMES`:
+
+        ``reads_mbps`` / ``writes_mbps``
+            Table I's bandwidth demands (MB/s).
+        ``total_mbps``
+            Their sum — the overall demand the placement must serve.
+        ``write_ratio``
+            Writes as a fraction of total traffic (0 when idle).
+        ``private_fraction``
+            Thread-private share of accesses in [0, 1].
+
+        The order and semantics are stable: models serialise the names
+        next to their coefficients and refuse a mismatched vector.
+        """
+        total = self.reads_mbps + self.writes_mbps
+        return np.array(
+            [
+                self.reads_mbps,
+                self.writes_mbps,
+                total,
+                self.writes_mbps / total if total > 0 else 0.0,
+                self.private_pct / 100.0,
+            ],
+            dtype=np.float64,
+        )
+
 
 class AccessProfiler:
-    """Accumulates :class:`TrafficSample` records for one application."""
+    """Accumulates :class:`TrafficSample` records for one application.
+
+    :meth:`characterise` (and therefore
+    :meth:`AccessCharacterisation.features`) is cached per window: samples
+    are append-only, so the aggregate is memoised under the sample count
+    and repeated featurisation of the same window costs a dict-free
+    comparison, not a re-aggregation. Recording a new sample invalidates
+    the cache automatically.
+    """
 
     def __init__(self, name: str):
         self.name = name
         self._samples: List[TrafficSample] = []
+        self._cached: Optional[Tuple[int, AccessCharacterisation]] = None
 
     def record(self, sample: TrafficSample) -> None:
         """Add one epoch's observation."""
@@ -96,10 +149,18 @@ class AccessProfiler:
         """Number of recorded epochs."""
         return len(self._samples)
 
+    def features(self) -> np.ndarray:
+        """Feature vector of the current window (cached with
+        :meth:`characterise`); see
+        :meth:`AccessCharacterisation.features`."""
+        return self.characterise().features()
+
     def characterise(self) -> AccessCharacterisation:
         """Time-weighted aggregate in Table I's units (MB/s and %)."""
         if not self._samples:
             raise ValueError(f"no samples recorded for {self.name!r}")
+        if self._cached is not None and self._cached[0] == len(self._samples):
+            return self._cached[1]
         total_t = sum(s.duration_s for s in self._samples)
         read_bytes = sum(s.read_gbps * GB * s.duration_s for s in self._samples)
         write_bytes = sum(s.write_gbps * GB * s.duration_s for s in self._samples)
@@ -111,10 +172,12 @@ class AccessProfiler:
             (s.read_gbps + s.write_gbps) * s.duration_s for s in self._samples
         )
         private = traffic_weighted_private / total_traffic if total_traffic > 0 else 0.0
-        return AccessCharacterisation(
+        char = AccessCharacterisation(
             name=self.name,
             reads_mbps=read_bytes / total_t / MB,
             writes_mbps=write_bytes / total_t / MB,
             private_pct=100.0 * private,
             shared_pct=100.0 * (1.0 - private),
         )
+        self._cached = (len(self._samples), char)
+        return char

@@ -28,6 +28,7 @@ from repro.topology.builders import (
     machine_a_topological,
     machine_b,
     mesh,
+    random_machine,
     ring,
 )
 
@@ -49,6 +50,7 @@ __all__ = [
     "machine_a_topological",
     "machine_b",
     "mesh",
+    "random_machine",
     "ring",
     "MachineSummary",
     "describe",

@@ -347,6 +347,46 @@ def fully_connected(
     )
 
 
+def random_machine(
+    seed: int,
+    *,
+    min_nodes: int = 2,
+    max_nodes: int = 8,
+    name: Optional[str] = None,
+) -> Machine:
+    """A random-but-plausible NUMA machine, deterministic in ``seed``.
+
+    Samples a node count, per-node local bandwidths, and an asymmetric
+    remote-bandwidth matrix (remote entries between 12% and 65% of the
+    weakest local controller, so per-row diagonal dominance always holds),
+    then builds the machine through :func:`from_bandwidth_matrix` — the
+    same path as the paper's profiled machines. Used to sweep topology
+    space when generating training data for learned DWP prediction
+    (:mod:`repro.learn`); distinct seeds give distinct machine names so
+    per-name canonical-profile caches never collide.
+    """
+    if not 2 <= min_nodes <= max_nodes:
+        raise ValueError(
+            f"need 2 <= min_nodes <= max_nodes, got {min_nodes}..{max_nodes}"
+        )
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(min_nodes, max_nodes + 1))
+    base = float(rng.uniform(8.0, 16.0))
+    diag = base * rng.uniform(0.9, 1.1, size=n)
+    matrix = diag.min() * rng.uniform(0.12, 0.65, size=(n, n))
+    np.fill_diagonal(matrix, diag)
+    cores = int(rng.integers(4, 9))
+    memory = int(rng.integers(4, 9)) * GiB
+    return from_bandwidth_matrix(
+        matrix,
+        cores_per_node=cores,
+        memory_per_node=memory,
+        frequency_ghz=2.1,
+        base_latency_ns=90.0,
+        name=name or f"random-{seed}",
+    )
+
+
 def ring(
     n: int,
     *,

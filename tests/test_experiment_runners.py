@@ -96,3 +96,25 @@ class TestTableRunners:
         assert ("B", 1) in r.measured["SC"]
         assert 0.0 <= r.measured["SC"][("B", 1)] <= 100.0
         assert "Table II" in r.render()
+
+
+class _FixedWarmPredictor:
+    """Stub predictor: a constant warm start, no model machinery."""
+
+    def predict(self, machine, workload, workers, canonical=None):
+        return 0.2
+
+
+class TestWarmStartRunner:
+    def test_quick_grid_with_stub_predictor(self):
+        from repro.experiments.warmstart import run_warmstart
+
+        r = run_warmstart(predictor=_FixedWarmPredictor(), quick=True)
+        assert len(r.cells) == 2 * 3 * 3  # deployments x benchmarks x variants
+        warm = r.cell("B1W", "SC", "warm")
+        assert warm.warm_dwp == 0.2
+        assert warm.outcome.final_dwp >= 0.2
+        # The plain and hardened cells never see the warm start.
+        assert r.cell("B1W", "SC", "plain").warm_dwp is None
+        assert r.probe_ratio() > 0.0 and r.traffic_ratio() > 0.0
+        assert "aggregate probe ratio" in r.render()

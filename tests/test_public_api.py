@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.core",
     "repro.oslib",
     "repro.experiments",
+    "repro.learn",
 ]
 
 
