@@ -224,6 +224,21 @@ class Application:
         """Bytes of traffic the worker at ``node`` still must perform."""
         return self._remaining.get(node, 0.0)
 
+    def progress_fraction(self) -> float:
+        """Fraction of this run's work already performed, in ``[0, 1]``.
+
+        The fleet layer checkpoints evicted apps on it. For looping apps
+        (which reset ``_remaining`` each lap) this is the current lap's
+        progress — the fleet never deploys looping apps.
+        """
+        if self.finished:
+            return 1.0
+        total = sum(self._share.values())
+        if total <= 0.0:
+            return 0.0
+        done = 1.0 - sum(self._remaining.values()) / total
+        return min(1.0, max(0.0, done))
+
     def advance(self, node: int, bytes_done: float) -> None:
         """Credit progress to one worker."""
         if bytes_done < 0:

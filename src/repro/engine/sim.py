@@ -289,6 +289,31 @@ class Simulator:
         except KeyError:
             raise KeyError(f"no application {app_id!r} in simulator") from None
 
+    def remove_app(self, app_id: str) -> Application:
+        """Detach an application (and its tuners) from the simulator.
+
+        The fleet layer evicts residents when their machine crashes, and
+        forgets completed apps whose completion report was lost so the
+        same ``app_id`` can be re-admitted later. The epoch kernel's
+        workspace re-checks the live app set every step, so removal is
+        safe mid-flight; the app object itself (placement, remaining
+        work) is returned untouched for progress accounting.
+        """
+        app = self.app(app_id)
+        del self._apps[app_id]
+        self._telemetry.pop(app_id, None)
+        self._app_freq.pop(app_id, None)
+        keep = [t for t in self._tuners if getattr(t, "app", None) is not app]
+        removed_started = sum(
+            1
+            for i, t in enumerate(self._tuners)
+            if i < self._tuners_started and t not in keep
+        )
+        self._tuners_started -= removed_started
+        self._tuners = keep
+        self._derived = None
+        return app
+
     @property
     def apps(self) -> Tuple[Application, ...]:
         """All registered applications."""

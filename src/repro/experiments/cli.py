@@ -152,8 +152,15 @@ def _warmstart() -> str:
     return run_warmstart().render()
 
 
+def _fleet_chaos() -> str:
+    from repro.experiments.fleet_chaos import run_fleet_chaos
+
+    return run_fleet_chaos().render()
+
+
 EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "fleet": _fleet,
+    "fleet-chaos": _fleet_chaos,
     "warmstart": _warmstart,
     "fig1a": _fig1a,
     "fig1b": _fig1b,

@@ -461,12 +461,21 @@ class Heartbeat:
         self.enabled = interval > 0 and total > 0
         self._last = time.monotonic()
 
-    def beat(self, done: int) -> None:
-        """Emit a progress line if due (always on the final item)."""
+    def beat(self, done: int, *, force: Optional[bool] = None) -> None:
+        """Emit a progress line if due (always on the final item).
+
+        ``force`` overrides the final-item bypass: callers whose ``done``
+        counter can sit at ``total`` across many calls (the fleet
+        scheduler's completion count once the trace drains) pass
+        ``force=False`` to stay on the interval, and ``force=True`` for
+        their one terminal line.
+        """
         if not self.enabled:
             return
         now = time.monotonic()
-        if done < self.total and now - self._last < self.interval:
+        if force is None:
+            force = done >= self.total
+        if not force and now - self._last < self.interval:
             return
         self._last = now
         extra = ""

@@ -20,6 +20,7 @@ import numpy as np
 from repro.experiments.common import fan_out
 from repro.experiments.report import format_table
 from repro.fleet.cluster import build_fleet, class_machine
+from repro.fleet.faults import FleetFaultPlan
 from repro.fleet.scheduler import FleetResult, FleetScheduler, SchedulerConfig
 from repro.store import (
     SCHEMA_VERSION,
@@ -46,6 +47,15 @@ class FleetSpec:
     max_pending_per_tick: int = 8
     seed: int = 42
     max_time: float = 1_000_000.0
+    #: Fleet-level fault plan (``None`` = fault-free, byte-identical to a
+    #: spec predating the fault layer except for the fingerprint).
+    faults: Optional[FleetFaultPlan] = None
+    recovery: str = "requeue"
+    max_retries: int = 3
+    retry_backoff_s: float = 20.0
+    checkpoint_quantum: float = 0.25
+    slo_slowdown: float = 4.0
+    breaker_cooldown_s: float = 60.0
 
     def scheduler_config(self) -> SchedulerConfig:
         return SchedulerConfig(
@@ -57,6 +67,12 @@ class FleetSpec:
             max_pending_per_tick=self.max_pending_per_tick,
             discipline=self.discipline,
             scoring=self.scoring,
+            recovery=self.recovery,
+            max_retries=self.max_retries,
+            retry_backoff_s=self.retry_backoff_s,
+            checkpoint_quantum=self.checkpoint_quantum,
+            slo_slowdown=self.slo_slowdown,
+            breaker_cooldown_s=self.breaker_cooldown_s,
         )
 
 
@@ -86,6 +102,19 @@ class FleetOutcome:
     min_util: float
     max_util: float
     util_by_class: Tuple[Tuple[str, float], ...]
+    # ---- fault-tolerance metrics (zeros / 1.0 on a fault-free run) ---- #
+    requeues: int = 0
+    stranded: int = 0
+    admission_rejections: int = 0
+    completions_lost: int = 0
+    #: Discarded work as a fraction of all submitted work.
+    lost_work_frac: float = 0.0
+    #: Completions past their SLO deadline over all completions.
+    slo_violation_rate: float = 0.0
+    availability: float = 1.0
+    #: Completed original work over submitted work (1.0 when nothing
+    #: arrived).
+    goodput: float = 1.0
 
     def to_payload(self) -> Dict[str, object]:
         payload: Dict[str, object] = {}
@@ -164,6 +193,26 @@ def outcome_from_result(result: FleetResult) -> FleetOutcome:
         util_by_class=tuple(
             sorted((name, float(np.mean(us))) for name, us in by_class.items())
         ),
+        requeues=result.requeues,
+        stranded=result.stranded,
+        admission_rejections=result.admission_rejections,
+        completions_lost=result.completions_lost,
+        lost_work_frac=(
+            float(result.lost_work_bytes / result.arrived_work_bytes)
+            if result.arrived_work_bytes > 0
+            else 0.0
+        ),
+        slo_violation_rate=(
+            float(result.slo_violations / len(result.completions))
+            if result.completions
+            else 0.0
+        ),
+        availability=float(result.availability),
+        goodput=(
+            float(result.completed_work_bytes / result.arrived_work_bytes)
+            if result.arrived_work_bytes > 0
+            else 1.0
+        ),
     )
 
 
@@ -171,7 +220,7 @@ def _run_fleet_cold(spec: FleetSpec) -> FleetOutcome:
     fleet = build_fleet(spec.mix)
     trace = build_trace(spec.trace)
     scheduler = FleetScheduler(
-        fleet, trace, spec.scheduler_config(), seed=spec.seed
+        fleet, trace, spec.scheduler_config(), seed=spec.seed, faults=spec.faults
     )
     return outcome_from_result(scheduler.run(spec.max_time))
 

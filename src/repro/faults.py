@@ -198,12 +198,21 @@ class FaultPlan:
     def scaled(self, intensity: float) -> "FaultPlan":
         """A copy with every stochastic intensity multiplied by ``intensity``.
 
-        Probabilities are clipped below 1; link/phase windows keep their
-        timing but move their multipliers toward 1 proportionally. Used by
-        the fault-matrix sweep to grade adversity levels from one template.
+        ``intensity`` must be a finite value in ``[0, 1]``: the plan's own
+        probabilities are the full-intensity adversity, and scaling past
+        them (or by NaN, which every comparison silently lets through) has
+        no defined meaning. Link/phase windows keep their timing but move
+        their multipliers toward 1 proportionally. Used by the fault-matrix
+        sweep to grade adversity levels from one template.
         """
-        if intensity < 0:
-            raise ValueError(f"intensity must be non-negative, got {intensity}")
+        if not (
+            isinstance(intensity, (int, float))
+            and math.isfinite(intensity)
+            and 0 <= intensity <= 1
+        ):
+            raise ValueError(
+                f"intensity must be a finite value in [0, 1], got {intensity!r}"
+            )
 
         def clip(p: float) -> float:
             return min(0.999, p * intensity)
@@ -214,7 +223,7 @@ class FaultPlan:
                 extra_noise_std=self.counter_noise.extra_noise_std * intensity,
                 spike_prob=clip(self.counter_noise.spike_prob),
                 spike_scale=1.0
-                + (self.counter_noise.spike_scale - 1.0) * min(intensity, 1.0),
+                + (self.counter_noise.spike_scale - 1.0) * intensity,
             )
         migration = None
         if self.migration is not None:

@@ -24,7 +24,21 @@ from repro.fleet.backend import (
     machine_seed,
     make_backend,
 )
-from repro.fleet.scheduler import FleetResult, FleetScheduler, SchedulerConfig
+from repro.fleet.faults import (
+    FleetFaultInjector,
+    FleetFaultPlan,
+    HealthTracker,
+    MachineCrash,
+    MachineDegradation,
+    as_fleet_injector,
+    chaos_plan,
+)
+from repro.fleet.scheduler import (
+    RECOVERIES,
+    FleetResult,
+    FleetScheduler,
+    SchedulerConfig,
+)
 
 __all__ = [
     "FleetNode",
@@ -40,6 +54,14 @@ __all__ = [
     "canonical_for",
     "machine_seed",
     "make_backend",
+    "FleetFaultInjector",
+    "FleetFaultPlan",
+    "HealthTracker",
+    "MachineCrash",
+    "MachineDegradation",
+    "as_fleet_injector",
+    "chaos_plan",
+    "RECOVERIES",
     "FleetResult",
     "FleetScheduler",
     "SchedulerConfig",

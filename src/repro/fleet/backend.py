@@ -26,6 +26,8 @@ batched and scalar scoring paths bitwise-comparable.
 from __future__ import annotations
 
 import abc
+import dataclasses
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -91,6 +93,18 @@ class FleetCompletion:
     ideal_s: float
     slowdown: float
     wait_s: float
+    #: Placement attempts this app took (1 on a fault-free fleet; crashes
+    #: and lost completions requeue the app and bump it).
+    attempts: int = 1
+    #: SLO deadline: ``arrival_s + slo_slowdown * ideal_s`` — the
+    #: slowdown-threshold multiple of the fault-free duration.
+    deadline_s: float = math.inf
+    #: Whether the app finished within its deadline.
+    slo_ok: bool = True
+    #: Full (original) work of the app in bytes — requeued attempts may
+    #: execute less after a checkpoint resume, but goodput accounting is
+    #: against the work the user submitted.
+    work_bytes: float = 0.0
     #: Full per-app telemetry (``SimBackend`` only; the fluid model has
     #: no counters to fold).
     outcome: Optional[RunOutcome] = None
@@ -107,6 +121,7 @@ class _Placed:
     arrival_s: float
     placed_s: float
     ideal_s: float
+    attempts: int = 1
 
 
 class MachineBackend(abc.ABC):
@@ -125,6 +140,8 @@ class MachineBackend(abc.ABC):
         policy: str = "bwap",
         dwp: float = 0.8,
         seed: int = 0,
+        slo_slowdown: float = 4.0,
+        sim_faults=None,
     ):
         self.mid = mid
         self.class_name = class_name
@@ -132,12 +149,24 @@ class MachineBackend(abc.ABC):
         self.policy = policy
         self.dwp = dwp
         self.seed = seed
+        if slo_slowdown < 1:
+            raise ValueError(f"slo_slowdown must be >= 1, got {slo_slowdown}")
+        self.slo_slowdown = slo_slowdown
+        #: Single-machine fault plan for the execution model (``SimBackend``
+        #: threads it into its simulator; the fluid backend degrades
+        #: through :attr:`capacity_scale` instead).
+        self.sim_faults = sim_faults
+        #: Per-resource capacity multipliers the scheduler sets while this
+        #: machine is inside a degradation window (``None`` when healthy —
+        #: the fault-free solve paths are untouched).
+        self.capacity_scale: Optional[np.ndarray] = None
         self.now = 0.0
         self._occupied: Dict[int, str] = {}
         self._placed: Dict[str, _Placed] = {}
         self.completions: List[FleetCompletion] = []
         #: Node-seconds spent running *completed* apps (live apps are
-        #: folded in by :meth:`utilization`).
+        #: folded in by :meth:`utilization`). Evicted apps' busy time is
+        #: folded in too — the machine really ran them until the crash.
         self.busy_node_seconds = 0.0
 
     # ------------------------------------------------------------------ #
@@ -172,6 +201,7 @@ class MachineBackend(abc.ABC):
         workers: Sequence[int],
         arrival_s: float,
         threads: int,
+        attempts: int = 1,
     ) -> _Placed:
         workers = tuple(workers)
         for w in workers:
@@ -188,6 +218,7 @@ class MachineBackend(abc.ABC):
             arrival_s,
             self.now,
             workload.ideal_time_s(threads, len(workers)),
+            attempts,
         )
         for w in workers:
             self._occupied[w] = app_id
@@ -201,6 +232,7 @@ class MachineBackend(abc.ABC):
             del self._occupied[w]
         del self._placed[rec.app_id]
         self.busy_node_seconds += len(rec.workers) * (finish_s - rec.placed_s)
+        deadline_s = rec.arrival_s + self.slo_slowdown * rec.ideal_s
         self.completions.append(
             FleetCompletion(
                 app_id=rec.app_id,
@@ -214,9 +246,52 @@ class MachineBackend(abc.ABC):
                 ideal_s=rec.ideal_s,
                 slowdown=(finish_s - rec.arrival_s) / rec.ideal_s,
                 wait_s=rec.placed_s - rec.arrival_s,
+                attempts=rec.attempts,
+                deadline_s=deadline_s,
+                slo_ok=finish_s <= deadline_s,
+                work_bytes=rec.workload.work_bytes,
                 outcome=outcome,
             )
         )
+
+    # ------------------------------------------------------------------ #
+    # Fault hooks (no-ops on a fault-free run)
+    # ------------------------------------------------------------------ #
+
+    def set_capacity_scale(self, scale: Optional[np.ndarray]) -> None:
+        """Install the degradation multipliers for the upcoming interval
+        (the scheduler clamps its advances at fault-window edges, so one
+        scale is valid for a whole advance)."""
+        self.capacity_scale = scale
+
+    def evict_all(self) -> List[Tuple[str, float]]:
+        """Evict every resident app (the machine crashed) at the current
+        backend clock.
+
+        Frees occupancy, keeps the busy node-seconds the apps consumed
+        (the machine really ran them until the crash), and returns
+        ``(app_id, fraction_done)`` in admission order — the progress
+        fraction of *this attempt*, which the scheduler composes with the
+        attempt's resume point for checkpoint accounting.
+        """
+        evicted: List[Tuple[str, float]] = []
+        for app_id in list(self._placed):
+            frac = self._evict_one(app_id)
+            rec = self._placed.pop(app_id)
+            for w in rec.workers:
+                del self._occupied[w]
+            self.busy_node_seconds += len(rec.workers) * (self.now - rec.placed_s)
+            evicted.append((app_id, frac))
+        return evicted
+
+    @abc.abstractmethod
+    def _evict_one(self, app_id: str) -> float:
+        """Drop one app from the execution model; return its attempt's
+        progress fraction in ``[0, 1]``."""
+
+    def forget_app(self, app_id: str) -> None:
+        """Erase a *completed* app's execution-model residue so the same
+        id can be re-admitted (its completion report was lost)."""
 
     # ------------------------------------------------------------------ #
     # Candidate scoring (shared by every backend)
@@ -280,8 +355,18 @@ class MachineBackend(abc.ABC):
         workload: WorkloadSpec,
         workers: Sequence[int],
         arrival_s: float,
+        *,
+        resume_frac: float = 0.0,
+        attempts: int = 1,
     ) -> None:
-        """Start one app on ``workers`` at the current backend clock."""
+        """Start one app on ``workers`` at the current backend clock.
+
+        ``resume_frac`` is the checkpointed fraction of the *original*
+        work already done by earlier attempts: the execution model runs
+        only the remaining ``1 - resume_frac``, while SLO/goodput
+        accounting stays against the full workload. ``0.0`` (the
+        fault-free value) must leave the admit path bitwise-untouched.
+        """
 
     @abc.abstractmethod
     def resident_consumers(self) -> List[Consumer]:
@@ -300,7 +385,7 @@ class MachineBackend(abc.ABC):
 class _FlowApp:
     """Fluid-model state of one running app."""
 
-    __slots__ = ("rec", "consumers", "remaining", "useful")
+    __slots__ = ("rec", "consumers", "remaining", "useful", "total_bytes")
 
     def __init__(
         self,
@@ -308,11 +393,13 @@ class _FlowApp:
         consumers: List[Consumer],
         remaining: Dict[int, float],
         useful: float,
+        total_bytes: float,
     ):
         self.rec = rec
         self.consumers = consumers
         self.remaining = remaining
         self.useful = useful
+        self.total_bytes = total_bytes
 
 
 class FlowBackend(MachineBackend):
@@ -332,16 +419,26 @@ class FlowBackend(MachineBackend):
         self._cache = SolverCache(maxsize=64)
         self._flow: Dict[str, _FlowApp] = {}
 
-    def admit(self, app_id, workload, workers, arrival_s):
+    def admit(self, app_id, workload, workers, arrival_s, *, resume_frac=0.0, attempts=1):
         consumers, threads, _tpn = self.candidate_consumers(app_id, workload, workers)
-        rec = self._register(app_id, workload, workers, arrival_s, threads)
+        rec = self._register(app_id, workload, workers, arrival_s, threads, attempts)
         total_demand = sum(c.demand for c in consumers)
+        # The fault-free path keeps the original arithmetic untouched
+        # (bitwise identity with pre-fault fleets).
+        exec_bytes = (
+            workload.work_bytes
+            if resume_frac == 0.0
+            else workload.work_bytes * (1.0 - resume_frac)
+        )
         remaining = {
-            c.node: workload.work_bytes * (c.demand / total_demand)
-            for c in consumers
+            c.node: exec_bytes * (c.demand / total_demand) for c in consumers
         }
         self._flow[app_id] = _FlowApp(
-            rec, consumers, remaining, workload.node_efficiency(len(workers))
+            rec,
+            consumers,
+            remaining,
+            workload.node_efficiency(len(workers)),
+            exec_bytes,
         )
 
     def resident_consumers(self) -> List[Consumer]:
@@ -352,9 +449,19 @@ class FlowBackend(MachineBackend):
                     out.append(c)
         return out
 
+    def _evict_one(self, app_id: str) -> float:
+        app = self._flow.pop(app_id)
+        if app.total_bytes <= 0.0:
+            return 1.0
+        left = sum(app.remaining.values())
+        return min(1.0, max(0.0, 1.0 - left / app.total_bytes))
+
     def _solve(self) -> Allocation:
         return self._cache.solve(
-            self.machine, self.resident_consumers(), DEFAULT_MC_MODEL
+            self.machine,
+            self.resident_consumers(),
+            DEFAULT_MC_MODEL,
+            capacity_scale=self.capacity_scale,
         )
 
     def advance(self, to, alloc=None):
@@ -415,23 +522,43 @@ class SimBackend(MachineBackend):
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
-        self.sim = Simulator(self.machine, seed=self.seed)
+        self.sim = Simulator(self.machine, seed=self.seed, faults=self.sim_faults)
         self.sim.start()
         self._tuners: Dict[str, object] = {}
 
-    def admit(self, app_id, workload, workers, arrival_s):
+    def admit(self, app_id, workload, workers, arrival_s, *, resume_frac=0.0, attempts=1):
         threads = len(pin_threads(self.machine, workers))
-        self._register(app_id, workload, workers, arrival_s, threads)
+        self._register(app_id, workload, workers, arrival_s, threads, attempts)
+        # Checkpoint resume: deploy a shrunken copy of the workload so the
+        # simulator only executes the remaining work; registration above
+        # keeps the full spec for SLO/goodput accounting. ``0.0`` deploys
+        # the original object (bitwise identity on fault-free fleets).
+        exec_workload = (
+            workload
+            if resume_frac == 0.0
+            else dataclasses.replace(
+                workload, work_bytes=workload.work_bytes * (1.0 - resume_frac)
+            )
+        )
         _app, tuner = deploy_app(
             self.sim,
             app_id,
-            workload,
+            exec_workload,
             workers,
             self.policy,
             canonical=canonical_for(self.machine),
             static_dwp=self.dwp if self.policy == "bwap-static" else None,
         )
         self._tuners[app_id] = tuner
+
+    def _evict_one(self, app_id: str) -> float:
+        self._tuners.pop(app_id, None)
+        app = self.sim.remove_app(app_id)
+        return app.progress_fraction()
+
+    def forget_app(self, app_id: str) -> None:
+        self._tuners.pop(app_id, None)
+        self.sim.remove_app(app_id)
 
     def resident_consumers(self) -> List[Consumer]:
         out: List[Consumer] = []
@@ -469,10 +596,21 @@ def make_backend(
     policy: str = "bwap",
     dwp: float = 0.8,
     seed: int = 0,
+    slo_slowdown: float = 4.0,
+    sim_faults=None,
 ) -> MachineBackend:
     """Construct a backend of the named kind (``"flow"`` or ``"sim"``)."""
     try:
         cls = BACKENDS[kind]
     except KeyError:
         raise ValueError(f"unknown backend {kind!r}; use one of {tuple(BACKENDS)}")
-    return cls(mid, class_name, machine, policy=policy, dwp=dwp, seed=seed)
+    return cls(
+        mid,
+        class_name,
+        machine,
+        policy=policy,
+        dwp=dwp,
+        seed=seed,
+        slo_slowdown=slo_slowdown,
+        sim_faults=sim_faults,
+    )

@@ -14,13 +14,28 @@ Between ticks the fleet skips idle spans in one jump (to the tick
 containing the next arrival, or to the horizon when only running apps
 remain), so sparse traces cost time proportional to events, not to
 simulated seconds.
+
+Fault tolerance (``faults=`` / :mod:`repro.fleet.faults`): under a
+:class:`~repro.fleet.faults.FleetFaultPlan` the scheduler evicts the
+residents of crashing machines and requeues them with bounded
+exponential backoff (``recovery="requeue"``; ``"requeue+checkpoint"``
+additionally resumes from the last completed progress quantum), skips
+crashed and circuit-breaker-blocked machines when placing, re-scores
+degraded machines with scaled link capacities inside the same batched
+solve, and realises admission-rejection / lost-completion draws in
+decision order so both scoring modes see identical fault sequences.
+Every fault hook is gated on the injector: ``faults=None`` (or a null
+plan) leaves the fault-free run byte-for-byte what it was before the
+fault layer existed.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.fleet.backend import (
     Allocation,
@@ -30,9 +45,11 @@ from repro.fleet.backend import (
     make_backend,
 )
 from repro.fleet.cluster import FleetNode
+from repro.fleet.faults import HealthTracker, as_fleet_injector
 from repro.memsim.contention import solve
 from repro.memsim import solve_batch_fleet_lazy
 from repro.engine.threads import pick_worker_nodes
+from repro.experiments.common import Heartbeat
 from repro.workloads.arrivals import ArrivalTrace
 
 #: Scheduling disciplines: how a pending app ranks its feasible candidates.
@@ -41,6 +58,11 @@ DISCIPLINES = ("best-rate", "first-fit", "least-loaded")
 #: Scoring modes: one fleet-batched solve per tick vs one scalar solve
 #: per candidate (the baseline the benchmark beats).
 SCORINGS = ("batched", "scalar")
+
+#: Recovery policies for work interrupted by a machine crash (or a lost
+#: completion report): strand it, requeue it from scratch, or requeue it
+#: from its last completed checkpoint quantum.
+RECOVERIES = ("none", "requeue", "requeue+checkpoint")
 
 
 @dataclass(frozen=True)
@@ -55,6 +77,22 @@ class SchedulerConfig:
     max_pending_per_tick: int = 8
     discipline: str = "best-rate"
     scoring: str = "batched"
+    #: What happens to work a crash (or lost completion) interrupts.
+    recovery: str = "requeue"
+    #: Re-placements allowed per app beyond its first attempt.
+    max_retries: int = 3
+    #: Base of the exponential requeue backoff: attempt ``a``'s failure
+    #: delays re-eligibility by ``retry_backoff_s * 2**(a-1)``.
+    retry_backoff_s: float = 20.0
+    #: Progress-checkpoint granularity (fraction of the app's work);
+    #: ``"requeue+checkpoint"`` resumes from the last completed quantum.
+    checkpoint_quantum: float = 0.25
+    #: SLO deadline multiplier: an app meets its SLO when it finishes
+    #: within ``slo_slowdown`` times its fault-free ideal duration.
+    slo_slowdown: float = 4.0
+    #: Circuit-breaker cooldown after a restart (doubles per crash of the
+    #: same machine); 0 disables the breaker.
+    breaker_cooldown_s: float = 60.0
 
     def __post_init__(self) -> None:
         if self.tick_s <= 0:
@@ -73,6 +111,24 @@ class SchedulerConfig:
             raise ValueError(f"unknown scoring {self.scoring!r}; use {SCORINGS}")
         if not 0 <= self.dwp <= 1:
             raise ValueError(f"dwp must be in [0, 1], got {self.dwp}")
+        if self.recovery not in RECOVERIES:
+            raise ValueError(f"unknown recovery {self.recovery!r}; use {RECOVERIES}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be non-negative, got {self.max_retries}")
+        if self.retry_backoff_s < 0:
+            raise ValueError(
+                f"retry_backoff_s must be non-negative, got {self.retry_backoff_s}"
+            )
+        if not 0 < self.checkpoint_quantum <= 1:
+            raise ValueError(
+                f"checkpoint_quantum must be in (0, 1], got {self.checkpoint_quantum}"
+            )
+        if self.slo_slowdown < 1:
+            raise ValueError(f"slo_slowdown must be >= 1, got {self.slo_slowdown}")
+        if self.breaker_cooldown_s < 0:
+            raise ValueError(
+                f"breaker_cooldown_s must be non-negative, got {self.breaker_cooldown_s}"
+            )
 
 
 @dataclass
@@ -80,6 +136,7 @@ class FleetResult:
     """Everything a fleet run produced, in deterministic order."""
 
     #: Admission decisions in decision order: ``(app_id, mid, workers)``.
+    #: Requeued apps appear once per placement attempt.
     placements: List[Tuple[str, int, Tuple[int, ...]]]
     #: Completions sorted by ``(finish_s, app_id)``.
     completions: List[FleetCompletion]
@@ -93,6 +150,54 @@ class FleetResult:
     end_time: float
     utilization: Dict[int, float]
     machine_class: Dict[int, str]
+    # ---- fault-tolerance accounting (zeros on a fault-free run) ------- #
+    #: Apps put back in the queue after a crash eviction or a lost
+    #: completion report.
+    requeues: int = 0
+    #: Apps abandoned: recovery disabled, or the retry budget exhausted.
+    stranded: int = 0
+    #: Placement decisions bounced by the lossy admission path.
+    admission_rejections: int = 0
+    #: Completion reports that were lost (the work had to be redone).
+    completions_lost: int = 0
+    #: Work performed and then discarded (crash progress below the last
+    #: checkpoint, rerun work after lost completions, stranded progress).
+    lost_work_bytes: float = 0.0
+    #: Completions that missed their SLO deadline.
+    slo_violations: int = 0
+    #: Total work submitted by the arrivals that entered the system.
+    arrived_work_bytes: float = 0.0
+    #: Total original work of the apps that completed (goodput numerator:
+    #: checkpoint-resumed attempts still credit the full app).
+    completed_work_bytes: float = 0.0
+    #: ``1 - sum(downtime) / (machines * end_time)``.
+    availability: float = 1.0
+    #: Seconds each machine spent crashed within ``[0, end_time]``.
+    machine_downtime: Dict[int, float] = field(default_factory=dict)
+
+
+class _Pend:
+    """One pending (or requeued) arrival awaiting placement."""
+
+    __slots__ = ("idx", "eligible_s", "attempts", "resume_frac")
+
+    def __init__(self, idx: int, eligible_s: float):
+        self.idx = idx
+        self.eligible_s = eligible_s
+        #: Placements so far (0 while never placed).
+        self.attempts = 0
+        #: Checkpointed fraction of the original work already banked.
+        self.resume_frac = 0.0
+
+
+def _trace_work_bytes(trace: ArrivalTrace, count: int) -> float:
+    """Total ``work_bytes`` of the first ``count`` arrivals (vectorised)."""
+    if count <= 0:
+        return 0.0
+    base = np.array([wl.work_bytes for wl in trace.catalog])
+    return float(
+        (base[np.asarray(trace.kind_idx[:count], dtype=int)] * trace.work_scale[:count]).sum()
+    )
 
 
 class FleetScheduler:
@@ -105,6 +210,7 @@ class FleetScheduler:
         config: SchedulerConfig = SchedulerConfig(),
         *,
         seed: int = 42,
+        faults=None,
     ):
         self.fleet = list(fleet)
         for idx, node in enumerate(self.fleet):
@@ -112,6 +218,7 @@ class FleetScheduler:
                 raise ValueError(f"fleet node {idx} has mid {node.mid}")
         self.trace = trace
         self.config = config
+        self.injector = as_fleet_injector(faults, num_machines=len(self.fleet))
         #: Worker-set choices keyed by (machine identity, occupied nodes,
         #: k) — pure and shared across ticks and same-class machines.
         self._worker_cache: Dict[Tuple[int, Tuple[int, ...], int], Tuple[int, ...]] = {}
@@ -124,6 +231,15 @@ class FleetScheduler:
                 policy=config.policy,
                 dwp=config.dwp,
                 seed=machine_seed(seed, node.mid),
+                slo_slowdown=config.slo_slowdown,
+                # The full-fidelity backend degrades inside its own
+                # simulator (per-link fault windows); the fluid backend
+                # degrades through per-advance capacity scales instead.
+                sim_faults=(
+                    self.injector.sim_fault_plan(node.mid, node.machine)
+                    if self.injector is not None and config.backend == "sim"
+                    else None
+                ),
             )
             for node in self.fleet
         ]
@@ -150,26 +266,99 @@ class FleetScheduler:
         if max_time <= 0:
             raise ValueError(f"max_time must be positive, got {max_time}")
         cfg = self.config
+        injector = self.injector
+        health = (
+            HealthTracker(cfg.breaker_cooldown_s) if injector is not None else None
+        )
         times = self.trace.times
         n = len(self.trace)
         i = 0  # next arrival index
         now = 0.0
-        pending: List[int] = []
+        pending: List[_Pend] = []
         placements: List[Tuple[str, int, Tuple[int, ...]]] = []
         ticks = 0
         solver_calls = 0
         entries_scored = 0
+        requeues = 0
+        stranded = 0
+        admission_rejections = 0
+        completions_lost = 0
+        lost_work_bytes = 0.0
+        #: Pending records of the currently running attempts (injector
+        #: runs only — fault-free runs never need to find them again).
+        inflight: Dict[str, _Pend] = {}
+        seen_completions = [0] * len(self.backends)
+        last_fault_t = -math.inf
+        hb = Heartbeat(n, label="fleet")
+
+        def requeue_or_strand(rec: _Pend, total_frac: float) -> None:
+            """Decide the fate of interrupted work under the recovery
+            policy; ``total_frac`` is the overall progress the app had
+            banked when the fault hit."""
+            nonlocal requeues, stranded, lost_work_bytes
+            work_bytes = self.trace.workload(rec.idx).work_bytes
+            if cfg.recovery == "none" or rec.attempts > cfg.max_retries:
+                stranded += 1
+                lost_work_bytes += total_frac * work_bytes
+                return
+            new_resume = 0.0
+            if cfg.recovery == "requeue+checkpoint":
+                q = cfg.checkpoint_quantum
+                # Resume from the last completed quantum, but always
+                # strictly below 1: a lost completion redoes at least its
+                # final quantum.
+                new_resume = min(
+                    max(rec.resume_frac, math.floor(total_frac / q) * q),
+                    math.floor((1.0 - 1e-12) / q) * q,
+                )
+            lost_work_bytes += max(0.0, total_frac - new_resume) * work_bytes
+            rec.resume_frac = new_resume
+            rec.eligible_s = now + cfg.retry_backoff_s * 2.0 ** (rec.attempts - 1)
+            requeues += 1
+            pending.append(rec)
 
         while now < max_time:
             while i < n and float(times[i]) <= now:
-                pending.append(i)
+                pending.append(_Pend(i, float(times[i])))
                 i += 1
 
+            # --- Crash onsets reached by the last advance ----------------
+            # Advances clamp at fault-window edges, so every crash start
+            # in (last_fault_t, now] happened exactly at the current clock
+            # and the backends' state is the pre-crash state at that time.
+            if injector is not None:
+                for _start, mid, end in injector.crash_starts_in(last_fault_t, now):
+                    b = self.backends[mid]
+                    health.record_crash(mid, end)
+                    for app_id, attempt_frac in b.evict_all():
+                        rec = inflight.pop(app_id)
+                        total_frac = (
+                            rec.resume_frac + (1.0 - rec.resume_frac) * attempt_frac
+                        )
+                        requeue_or_strand(rec, total_frac)
+                last_fault_t = now
+
+            # Capacity multipliers for this instant; the advance below is
+            # clamped at window edges, so they hold for its whole span.
+            scales: Dict[int, Optional[np.ndarray]] = {}
+            if injector is not None:
+                for b in self.backends:
+                    scales[b.mid] = injector.capacity_scale_for(
+                        b.mid, b.machine, now
+                    )
+
             state_allocs: Dict[int, Optional[Allocation]] = {}
-            if pending:
+            if injector is None:
+                batch = pending[: cfg.max_pending_per_tick]
+            else:
+                batch = [r for r in pending if r.eligible_s <= now][
+                    : cfg.max_pending_per_tick
+                ]
+            if batch:
                 ticks += 1
                 # --- Build the tick's entry list -------------------------
                 entries: List[tuple] = []  # (machine, consumers)
+                entry_scales: List[Optional[np.ndarray]] = []
                 state_rows: List[Tuple[int, int]] = []  # (mid, row)
                 resident = {
                     b.mid: b.resident_consumers()
@@ -180,18 +369,24 @@ class FleetScheduler:
                     if b.wants_state_alloc and b.num_live:
                         state_rows.append((b.mid, len(entries)))
                         entries.append((b.machine, resident[b.mid]))
-                batch = pending[: cfg.max_pending_per_tick]
+                        entry_scales.append(scales.get(b.mid))
                 workers_cache: Dict[Tuple[int, int], Tuple[int, ...]] = {}
                 # Same-class machines with the same worker set produce
                 # identical candidate consumers (weights, mixes, demands
                 # depend only on machine/workers/workload), so construct
                 # each distinct set once per tick and share the objects.
                 cons_cache: Dict[Tuple[int, Tuple[int, ...], int], list] = {}
-                cands: List[Tuple[int, int, Tuple[int, ...], int]] = []
-                for p in batch:
+                cands: List[Tuple[_Pend, int, Tuple[int, ...], int]] = []
+                for r in batch:
+                    p = r.idx
                     app_id = self.trace.app_id(p)
                     workload = self.trace.workload(p)
                     for b in self.backends:
+                        if injector is not None and (
+                            injector.crashed_at(b.mid, now)
+                            or not health.allows(b.mid, now)
+                        ):
+                            continue
                         free = b.free_nodes()
                         for k in cfg.worker_counts:
                             if k > len(free):
@@ -214,10 +409,11 @@ class FleetScheduler:
                                     app_id, workload, workers
                                 )
                                 cons_cache[key] = consumers
-                            cands.append((p, b.mid, workers, len(entries)))
+                            cands.append((r, b.mid, workers, len(entries)))
                             entries.append(
                                 (b.machine, resident.get(b.mid, []) + consumers)
                             )
+                            entry_scales.append(scales.get(b.mid))
 
                 # --- ONE vectorised solve for the whole tick -------------
                 entries_scored += len(entries)
@@ -225,12 +421,20 @@ class FleetScheduler:
                     # Lazy batch: scores come straight off the rate
                     # tensor; full Allocations are built only for state
                     # rows and winning candidates (a handful per tick).
-                    fb = solve_batch_fleet_lazy(entries)
+                    fb = solve_batch_fleet_lazy(
+                        entries,
+                        capacity_scales=(
+                            entry_scales if injector is not None else None
+                        ),
+                    )
                     solver_calls += 1
                     get_alloc = fb.allocation
                     get_score = fb.app_total_rate
                 else:
-                    allocs = [solve(m, cs) for m, cs in entries]
+                    allocs = [
+                        solve(m, cs, capacity_scale=sc)
+                        for (m, cs), sc in zip(entries, entry_scales)
+                    ]
                     solver_calls += len(entries)
                     get_alloc = allocs.__getitem__
                     get_score = lambda row, aid: allocs[row].app_total_rate(aid)
@@ -239,29 +443,43 @@ class FleetScheduler:
 
                 # --- Greedy admissions in arrival order ------------------
                 claimed: set = set()
-                for p in batch:
+                for r in batch:
+                    p = r.idx
                     app_id = self.trace.app_id(p)
                     best = None
-                    for pp, mid, workers, row in cands:
-                        if pp != p or mid in claimed:
+                    for rr, mid, workers, row in cands:
+                        if rr is not r or mid in claimed:
                             continue
                         score = get_score(row, app_id)
-                        key = self._rank_key(self.backends[mid], score, len(workers))
+                        key = self._rank_key(
+                            self.backends[mid], score, len(workers)
+                        )
                         if best is None or key > best[0]:
                             best = (key, mid, workers, row)
                     if best is None:
                         continue  # no feasible machine this tick
+                    if injector is not None and injector.admission_rejected():
+                        admission_rejections += 1
+                        continue  # stays pending; retried next tick
                     _key, mid, workers, row = best
                     backend = self.backends[mid]
+                    r.attempts += 1
                     backend.admit(
-                        app_id, self.trace.workload(p), workers, float(times[p])
+                        app_id,
+                        self.trace.workload(p),
+                        workers,
+                        float(times[p]),
+                        resume_frac=r.resume_frac,
+                        attempts=r.attempts,
                     )
                     claimed.add(mid)
                     # The winning candidate allocation already includes the
                     # admitted app, so it is the machine's new state.
                     state_allocs[mid] = get_alloc(row)
                     placements.append((app_id, mid, workers))
-                    pending.remove(p)
+                    pending.remove(r)
+                    if injector is not None:
+                        inflight[app_id] = r
 
             # --- Advance the fleet clock ---------------------------------
             live = any(b.num_live for b in self.backends)
@@ -276,25 +494,70 @@ class FleetScheduler:
             else:
                 break
             next_time = min(next_time, max_time)
+            if injector is not None:
+                # Never integrate across a fault-window edge: stop there,
+                # process the crash / new scale set, then continue.
+                edge = injector.next_edge_after(now)
+                if edge is not None and edge < next_time:
+                    next_time = edge
             if next_time <= now:
                 break
             for b in self.backends:
+                if injector is not None:
+                    b.set_capacity_scale(scales.get(b.mid))
                 b.advance(
                     next_time,
                     state_allocs.get(b.mid) if b.wants_state_alloc else None,
                 )
             now = next_time
 
+            # --- Lost completion reports ---------------------------------
+            if injector is not None:
+                for b in self.backends:
+                    start = seen_completions[b.mid]
+                    tail = b.completions[start:]
+                    if tail:
+                        kept = []
+                        for comp in tail:
+                            rec = inflight.pop(comp.app_id)
+                            if injector.completion_lost():
+                                completions_lost += 1
+                                b.forget_app(comp.app_id)
+                                # The attempt ran to the end; only the
+                                # report was lost.
+                                requeue_or_strand(rec, 1.0)
+                            else:
+                                kept.append(comp)
+                        if len(kept) != len(tail):
+                            b.completions[start:] = kept
+                    seen_completions[b.mid] = len(b.completions)
+
+            if hb.enabled:
+                hb.beat(
+                    sum(len(b.completions) for b in self.backends), force=False
+                )
+
         completions: List[FleetCompletion] = []
         for b in self.backends:
             completions.extend(b.completions)
         completions.sort(key=lambda c: (c.finish_s, c.app_id))
+        if hb.enabled:
+            hb.beat(len(completions), force=True)
         end_time = now
         drained = not pending and i >= n and not any(b.num_live for b in self.backends)
         if drained and completions:
             # All work finished before the horizon: measure utilisation
             # over the span that actually saw activity.
             end_time = max(c.finish_s for c in completions)
+        machine_downtime: Dict[int, float] = {}
+        availability = 1.0
+        if injector is not None and end_time > 0:
+            machine_downtime = {
+                b.mid: injector.downtime_in(b.mid, end_time) for b in self.backends
+            }
+            availability = 1.0 - sum(machine_downtime.values()) / (
+                len(self.backends) * end_time
+            )
         return FleetResult(
             placements=placements,
             completions=completions,
@@ -307,4 +570,14 @@ class FleetScheduler:
             end_time=end_time,
             utilization={b.mid: b.utilization(end_time) for b in self.backends},
             machine_class={node.mid: node.class_name for node in self.fleet},
+            requeues=requeues,
+            stranded=stranded,
+            admission_rejections=admission_rejections,
+            completions_lost=completions_lost,
+            lost_work_bytes=lost_work_bytes,
+            slo_violations=sum(1 for c in completions if not c.slo_ok),
+            arrived_work_bytes=_trace_work_bytes(self.trace, i),
+            completed_work_bytes=sum(c.work_bytes for c in completions),
+            availability=availability,
+            machine_downtime=machine_downtime,
         )

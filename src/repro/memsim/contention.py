@@ -970,6 +970,8 @@ class FleetBatch:
 def solve_batch_fleet_lazy(
     entries: Iterable[Tuple[Machine, Sequence[Consumer]]],
     mc_model: MCModel = DEFAULT_MC_MODEL,
+    *,
+    capacity_scales: Optional[Sequence[Optional[np.ndarray]]] = None,
 ) -> FleetBatch:
     """Solve consumer sets on *heterogeneous* machines in one filling pass.
 
@@ -986,9 +988,24 @@ def solve_batch_fleet_lazy(
     untouched with infinite capacity and zero incidence and padded
     consumer slots are dead, so both are exact no-ops in
     :func:`_progressive_fill` and the stacking never perturbs a result.
+
+    ``capacity_scales`` is an optional per-*entry* counterpart of
+    :func:`solve`'s ``capacity_scale``: one ``(num_res,)`` multiplier
+    array (or ``None``) per entry over that entry's own canonical
+    resource axis — the fleet scheduler degrades individual machines'
+    links mid-run with it. A scaled entry is bitwise-identical to
+    ``solve(machine, consumers, capacity_scale=scale)`` run alone: the
+    multiply commutes with the untouched-row infinity masking (padded and
+    untouched rows are ``inf`` and stay ``inf`` under a positive scale),
+    and unscaled entries are never multiplied at all.
     """
     pairs = [(m, list(cs)) for m, cs in entries]
     lives = [_live_consumers(m, cs) for m, cs in pairs]
+    if capacity_scales is not None and len(capacity_scales) != len(pairs):
+        raise ValueError(
+            f"capacity_scales has {len(capacity_scales)} entries "
+            f"for {len(pairs)} solve entries"
+        )
     if not pairs or max(len(lv) for lv in lives) == 0:
         return FleetBatch(pairs, lives, None, None, None, None, None, None)
     max_live = max(len(lv) for lv in lives)
@@ -1020,6 +1037,21 @@ def solve_batch_fleet_lazy(
         demand_all[rows] = demand
         live_all[rows] = live_mask
 
+    if capacity_scales is not None:
+        for i, scale in enumerate(capacity_scales):
+            if scale is None:
+                continue
+            num_res = tables[i].num_res
+            scale = np.asarray(scale, dtype=float)
+            if scale.shape != (num_res,):
+                raise ValueError(
+                    f"capacity_scales[{i}] must have shape ({num_res},), "
+                    f"got {scale.shape}"
+                )
+            if (scale <= 0).any():
+                raise ValueError(f"capacity_scales[{i}] entries must be positive")
+            caps_all[i, :num_res] *= scale
+
     rates, _load, util, bottleneck_row = _progressive_fill(
         A_all, caps_all, touched_all, demand_all, live_all
     )
@@ -1031,10 +1063,12 @@ def solve_batch_fleet_lazy(
 def solve_batch_fleet(
     entries: Iterable[Tuple[Machine, Sequence[Consumer]]],
     mc_model: MCModel = DEFAULT_MC_MODEL,
+    *,
+    capacity_scales: Optional[Sequence[Optional[np.ndarray]]] = None,
 ) -> List[Allocation]:
     """Eager form of :func:`solve_batch_fleet_lazy`: one
     :class:`Allocation` per ``(machine, consumers)`` pair."""
-    batch = solve_batch_fleet_lazy(entries, mc_model)
+    batch = solve_batch_fleet_lazy(entries, mc_model, capacity_scales=capacity_scales)
     return [batch.allocation(i) for i in range(len(batch))]
 
 

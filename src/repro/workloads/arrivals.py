@@ -202,8 +202,12 @@ def _bursty_times(rng: np.random.Generator, spec: TraceSpec, n: int) -> np.ndarr
     target = unit[-1]
     # Draw sojourns in vectorised chunks until Lambda covers the last
     # unit-rate arrival. Chunk size scales with the expected need so the
-    # loop runs O(1) iterations for any trace length.
+    # loop runs O(1) iterations for any trace length; the cap bounds a
+    # single allocation when tiny sojourns make the expectation explode
+    # (e.g. mean_burst_s of microseconds) — the loop stays exact, it just
+    # takes more iterations.
     expect_pairs = max(16, int(target / (quiet_rate * mean_quiet + burst_rate * mean_burst)) + 1)
+    expect_pairs = min(expect_pairs, 1_000_000)
     while l_end <= target:
         quiet = rng.exponential(mean_quiet, size=expect_pairs)
         burst = rng.exponential(mean_burst, size=expect_pairs)

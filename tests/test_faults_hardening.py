@@ -67,10 +67,17 @@ class TestFaultPlan:
             DEFAULT_FAULT_PLAN.migration.page_failure_prob * 0.5
         )
 
-    def test_scaled_clips_probabilities(self):
-        heavy = DEFAULT_FAULT_PLAN.scaled(100.0)
-        assert heavy.migration.page_failure_prob < 1.0
-        assert heavy.counter_noise.spike_prob < 1.0
+    def test_scaled_full_intensity_is_identity(self):
+        full = DEFAULT_FAULT_PLAN.scaled(1.0)
+        assert full.migration == DEFAULT_FAULT_PLAN.migration
+        assert full.counter_noise == DEFAULT_FAULT_PLAN.counter_noise
+
+    def test_scaled_rejects_bad_intensities(self):
+        import math
+
+        for bad in (-0.5, 1.5, 100.0, math.nan, math.inf, -math.inf, "0.5", None):
+            with pytest.raises((ValueError, TypeError)):
+                DEFAULT_FAULT_PLAN.scaled(bad)
 
     def test_validation(self):
         with pytest.raises(ValueError):
