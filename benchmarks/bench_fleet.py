@@ -101,7 +101,7 @@ class BenchFleet:
                 "scalar_arrivals_per_s": scalar_aps,
                 "speedup": speedup,
             },
-            guarded=("speedup",),
+            guarded=("speedup", "batched_arrivals_per_s"),
             wall_s=r["batched_wall"] + r["scalar_wall"],
         )
         with capsys.disabled():

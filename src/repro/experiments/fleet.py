@@ -115,6 +115,10 @@ class FleetOutcome:
     #: Completed original work over submitted work (1.0 when nothing
     #: arrived).
     goodput: float = 1.0
+    # ---- incremental-scoring observability (zeros / 1 elsewhere) ----- #
+    memo_hits: int = 0
+    bound_pruned: int = 0
+    shards_used: int = 1
 
     def to_payload(self) -> Dict[str, object]:
         payload: Dict[str, object] = {}
@@ -213,6 +217,9 @@ def outcome_from_result(result: FleetResult) -> FleetOutcome:
             if result.arrived_work_bytes > 0
             else 1.0
         ),
+        memo_hits=result.memo_hits,
+        bound_pruned=result.bound_pruned,
+        shards_used=result.shards_used,
     )
 
 
@@ -337,6 +344,14 @@ def run_fleet(jobs: Optional[int] = None) -> FleetReport:
             ),
         ),
         (
+            "poisson/inc",
+            FleetSpec(
+                mix=mix,
+                trace=TraceSpec(kind="poisson", rate_per_s=1.0, arrivals=arrivals),
+                scoring="incremental",
+            ),
+        ),
+        (
             "poisson/sim",
             FleetSpec(
                 mix=(("A", 1), ("B", 1)),
@@ -361,6 +376,15 @@ def run_fleet(jobs: Optional[int] = None) -> FleetReport:
         f"({total / wall:.0f} arrivals/s incl. store hits)",
         file=sys.stderr,
     )
+    for (label, _spec), out in zip(cells, outcomes):
+        solves_per_arrival = out.solver_calls / out.arrivals if out.arrivals else 0.0
+        print(
+            f"fleet[{label}]: {out.entries_scored} candidates scored, "
+            f"{out.memo_hits} memo hits, {out.bound_pruned} pruned, "
+            f"{out.shards_used} shard(s), "
+            f"{solves_per_arrival:.2f} solves/arrival",
+            file=sys.stderr,
+        )
     return FleetReport(
         rows=[
             (label, spec, out)

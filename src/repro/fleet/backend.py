@@ -49,6 +49,7 @@ from repro.memsim.contention import (
     Allocation,
     Consumer,
     SolverCache,
+    solve,
 )
 from repro.topology import Machine
 from repro.workloads import WorkloadSpec
@@ -76,6 +77,65 @@ def canonical_for(machine: Machine) -> "CanonicalTuner":
 def machine_seed(base_seed: int, mid: int) -> int:
     """Per-machine seed, stable across processes and fleet layouts."""
     return derive_seed(base_seed, "fleet-machine", mid)
+
+
+def _canon_solve(
+    machine: Machine,
+    consumers: List[Consumer],
+    capacity_scale: Optional[np.ndarray],
+) -> Allocation:
+    """Fluid-state solve through a rename-canonical cache shared by every
+    backend on ``machine`` (same-class fleet machines share the object).
+
+    The solver's rates are positional — app ids are labels, never
+    numbers — so two resident sets that differ only in app names produce
+    the same floats. Canonicalising ids to first-occurrence indices
+    before keying makes the cache hit across apps, machines, and time:
+    in steady state almost every completion/depletion re-solve replays a
+    configuration some machine has already been in. Results are remapped
+    to the real ids on the way out, bitwise-identical to a fresh solve.
+    """
+    cache = getattr(machine, "_fleet_canon_solver", None)
+    if cache is None:
+        cache = SolverCache(maxsize=4096)
+        machine._fleet_canon_solver = cache  # type: ignore[attr-defined]
+    order: Dict[str, int] = {}
+    for c in consumers:
+        if c.app_id not in order:
+            order[c.app_id] = len(order)
+    key = (
+        None if capacity_scale is None else capacity_scale.tobytes(),
+        tuple(
+            (
+                order[c.app_id],
+                c.node,
+                c.demand,
+                c.write_fraction,
+                np.ascontiguousarray(c.mix, dtype=float).tobytes(),
+            )
+            for c in consumers
+        ),
+    )
+    hit = cache.lookup(key)
+    if hit is not None:
+        names = list(order)
+        return Allocation(
+            rates={(names[i], n): v for (i, n), v in hit.rates.items()},
+            utilization=hit.utilization,
+            bottleneck={(names[i], n): v for (i, n), v in hit.bottleneck.items()},
+            capacities=hit.capacities,
+        )
+    alloc = solve(machine, consumers, DEFAULT_MC_MODEL, capacity_scale=capacity_scale)
+    cache.store(
+        key,
+        Allocation(
+            rates={(order[a], n): v for (a, n), v in alloc.rates.items()},
+            utilization=alloc.utilization,
+            bottleneck={(order[a], n): v for (a, n), v in alloc.bottleneck.items()},
+            capacities=alloc.capacities,
+        ),
+    )
+    return alloc
 
 
 @dataclass(frozen=True)
@@ -131,6 +191,14 @@ class MachineBackend(abc.ABC):
     #: allocation (the fluid backend does; the simulator solves its own).
     wants_state_alloc = False
 
+    #: Whether :meth:`admit` accepts a pre-built ``template`` of
+    #: ``(consumers, threads)`` from :meth:`candidate_consumers` (under
+    #: any app id) so the admit path can skip rebuilding it. Candidate
+    #: consumers are exact across arrivals of a workload kind — the
+    #: per-arrival work scaling touches only ``work_bytes``, which the
+    #: construction never reads.
+    accepts_admit_template = False
+
     def __init__(
         self,
         mid: int,
@@ -161,6 +229,18 @@ class MachineBackend(abc.ABC):
         #: the fault-free solve paths are untouched).
         self.capacity_scale: Optional[np.ndarray] = None
         self.now = 0.0
+        #: Monotonic state version: bumped whenever the resident consumer
+        #: set (as seen by :meth:`resident_consumers`) may have changed —
+        #: admissions, completions, evictions, per-node flow depletion,
+        #: simulator epochs. The incremental scheduler keys its score memo
+        #: on it, so correctness of score reuse rests on every mutation
+        #: path bumping it.
+        self.state_version = 0
+        #: Version-keyed caches of the free/occupied node tuples (every
+        #: occupancy change bumps the version, so staleness is impossible;
+        #: the scheduler reads both once per candidate).
+        self._free_cache: Optional[Tuple[int, Tuple[int, ...]]] = None
+        self._occ_cache: Optional[Tuple[int, Tuple[int, ...]]] = None
         self._occupied: Dict[int, str] = {}
         self._placed: Dict[str, _Placed] = {}
         self.completions: List[FleetCompletion] = []
@@ -178,12 +258,22 @@ class MachineBackend(abc.ABC):
         return len(self._placed)
 
     def free_nodes(self) -> Tuple[int, ...]:
-        return tuple(
+        cached = self._free_cache
+        if cached is not None and cached[0] == self.state_version:
+            return cached[1]
+        free = tuple(
             n for n in range(self.machine.num_nodes) if n not in self._occupied
         )
+        self._free_cache = (self.state_version, free)
+        return free
 
     def occupied_nodes(self) -> Tuple[int, ...]:
-        return tuple(sorted(self._occupied))
+        cached = self._occ_cache
+        if cached is not None and cached[0] == self.state_version:
+            return cached[1]
+        occ = tuple(sorted(self._occupied))
+        self._occ_cache = (self.state_version, occ)
+        return occ
 
     def utilization(self, end_s: float) -> float:
         """Busy node-seconds over total node-seconds up to ``end_s``."""
@@ -223,6 +313,7 @@ class MachineBackend(abc.ABC):
         for w in workers:
             self._occupied[w] = app_id
         self._placed[app_id] = rec
+        self.state_version += 1
         return rec
 
     def _finish(
@@ -231,6 +322,7 @@ class MachineBackend(abc.ABC):
         for w in rec.workers:
             del self._occupied[w]
         del self._placed[rec.app_id]
+        self.state_version += 1
         self.busy_node_seconds += len(rec.workers) * (finish_s - rec.placed_s)
         deadline_s = rec.arrival_s + self.slo_slowdown * rec.ideal_s
         self.completions.append(
@@ -282,6 +374,8 @@ class MachineBackend(abc.ABC):
                 del self._occupied[w]
             self.busy_node_seconds += len(rec.workers) * (self.now - rec.placed_s)
             evicted.append((app_id, frac))
+        if evicted:
+            self.state_version += 1
         return evicted
 
     @abc.abstractmethod
@@ -413,14 +507,40 @@ class FlowBackend(MachineBackend):
     """
 
     wants_state_alloc = True
+    accepts_admit_template = True
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
         self._cache = SolverCache(maxsize=64)
         self._flow: Dict[str, _FlowApp] = {}
+        #: Single-slot resident-allocation cache keyed by
+        #: ``(state_version, capacity-scale bytes)``: the incremental
+        #: scheduler never hands the backend a pre-solved state
+        #: allocation, so repeated ticks over an unchanged resident set
+        #: would otherwise pay a consumer fingerprint per tick.
+        self._solve_slot: Optional[Tuple[Tuple[int, Optional[bytes]], Allocation]] = None
 
-    def admit(self, app_id, workload, workers, arrival_s, *, resume_frac=0.0, attempts=1):
-        consumers, threads, _tpn = self.candidate_consumers(app_id, workload, workers)
+    def admit(
+        self,
+        app_id,
+        workload,
+        workers,
+        arrival_s,
+        *,
+        resume_frac=0.0,
+        attempts=1,
+        template=None,
+    ):
+        if template is not None:
+            # Re-label the cached kind-level consumers with the real app
+            # id; every numeric field is the float the full construction
+            # would produce (mix arrays are shared, never mutated).
+            t_cons, threads = template
+            consumers = [dataclasses.replace(c, app_id=app_id) for c in t_cons]
+        else:
+            consumers, threads, _tpn = self.candidate_consumers(
+                app_id, workload, workers
+            )
         rec = self._register(app_id, workload, workers, arrival_s, threads, attempts)
         total_demand = sum(c.demand for c in consumers)
         # The fault-free path keeps the original arithmetic untouched
@@ -457,12 +577,17 @@ class FlowBackend(MachineBackend):
         return min(1.0, max(0.0, 1.0 - left / app.total_bytes))
 
     def _solve(self) -> Allocation:
-        return self._cache.solve(
-            self.machine,
-            self.resident_consumers(),
-            DEFAULT_MC_MODEL,
-            capacity_scale=self.capacity_scale,
+        key = (
+            self.state_version,
+            None if self.capacity_scale is None else self.capacity_scale.tobytes(),
         )
+        if self._solve_slot is not None and self._solve_slot[0] == key:
+            return self._solve_slot[1]
+        alloc = _canon_solve(
+            self.machine, self.resident_consumers(), self.capacity_scale
+        )
+        self._solve_slot = (key, alloc)
+        return alloc
 
     def advance(self, to, alloc=None):
         while True:
@@ -499,6 +624,9 @@ class FlowBackend(MachineBackend):
                     speed = speeds[(c.app_id, c.node)]
                     if speed > 0.0 and rem / speed <= dt:
                         app.remaining[c.node] = 0.0
+                        # A depleted node drops out of resident_consumers()
+                        # even while the app keeps running elsewhere.
+                        self.state_version += 1
                     else:
                         app.remaining[c.node] = max(rem - speed * dt, 0.0)
                 if all(v <= 0.0 for v in app.remaining.values()):
@@ -559,6 +687,7 @@ class SimBackend(MachineBackend):
     def forget_app(self, app_id: str) -> None:
         self._tuners.pop(app_id, None)
         self.sim.remove_app(app_id)
+        self.state_version += 1
 
     def resident_consumers(self) -> List[Consumer]:
         out: List[Consumer] = []
@@ -569,6 +698,10 @@ class SimBackend(MachineBackend):
 
     def advance(self, to, alloc=None):
         del alloc  # the simulator drives its own epoch allocations
+        if self._placed:
+            # Live tuners migrate pages every epoch, so the resident
+            # consumer mixes drift on every advance — never reuse scores.
+            self.state_version += 1
         self.sim.step_to(to)
         result = None
         for app in self.sim.apps:

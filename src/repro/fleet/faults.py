@@ -344,6 +344,18 @@ class FleetFaultInjector:
                 scale *= d.capacity_scale
         return scale
 
+    def scale_key_for(self, mid: int, now: float) -> Optional[Tuple[float, ...]]:
+        """Hashable identity of ``mid``'s active degradation-window set at
+        ``now`` (``None`` when healthy) — the same key
+        :meth:`capacity_scale_for` memoises on, so two ticks with equal
+        keys see bitwise-identical capacity-scale arrays. The incremental
+        scheduler folds it into its score-memo keys."""
+        degrs = self._degr_by_mid.get(mid)
+        if not degrs:
+            return None
+        key = tuple(d.capacity_scale for d in degrs if d.active_at(now))
+        return key or None
+
     def capacity_scale_for(
         self, mid: int, machine: Machine, now: float
     ) -> Optional[np.ndarray]:

@@ -15,6 +15,22 @@ containing the next arrival, or to the horizon when only running apps
 remain), so sparse traces cost time proportional to events, not to
 simulated seconds.
 
+The third scoring mode (``scoring="incremental"``) runs the *same*
+decision procedure but only solves what changed: candidate scores are
+memoised per machine keyed by its monotonic
+:attr:`~repro.fleet.backend.MachineBackend.state_version` (plus the
+arrival kind, worker set, and active capacity-scale key), candidates
+that provably cannot beat the incumbent best are pruned by a cheap
+residual-capacity bound (:func:`repro.memsim.candidate_rate_bound`),
+and the surviving solves can be sharded across a process pool
+(``SchedulerConfig.shards`` / ``BWAP_FLEET_SHARDS``) with a
+deterministic in-order merge. Because memoised scores replay bitwise
+and pruning only ever removes provably-losing candidates, the
+incremental mode produces byte-for-byte the placements, completions,
+and SLO accounting of the exhaustive modes — with and without chaos
+faults (asserted by ``benchmarks/bench_fleet_scale.py`` and
+``tests/test_fleet_incremental.py``).
+
 Fault tolerance (``faults=`` / :mod:`repro.fleet.faults`): under a
 :class:`~repro.fleet.faults.FleetFaultPlan` the scheduler evicts the
 residents of crashing machines and requeues them with bounded
@@ -32,6 +48,8 @@ fault layer existed.
 from __future__ import annotations
 
 import math
+import multiprocessing
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -46,7 +64,7 @@ from repro.fleet.backend import (
 )
 from repro.fleet.cluster import FleetNode
 from repro.fleet.faults import HealthTracker, as_fleet_injector
-from repro.memsim.contention import solve
+from repro.memsim.contention import candidate_rate_bound, solve
 from repro.memsim import solve_batch_fleet_lazy
 from repro.engine.threads import pick_worker_nodes
 from repro.experiments.common import Heartbeat
@@ -55,9 +73,46 @@ from repro.workloads.arrivals import ArrivalTrace
 #: Scheduling disciplines: how a pending app ranks its feasible candidates.
 DISCIPLINES = ("best-rate", "first-fit", "least-loaded")
 
-#: Scoring modes: one fleet-batched solve per tick vs one scalar solve
-#: per candidate (the baseline the benchmark beats).
-SCORINGS = ("batched", "scalar")
+#: Scoring modes: one fleet-batched solve per tick, one scalar solve per
+#: candidate (the baseline the benchmark beats), or memo+prune+shard
+#: delta scoring ("incremental") — all three byte-for-byte identical.
+SCORINGS = ("batched", "scalar", "incremental")
+
+#: Reserved app id of memoised candidate consumers. Trace app ids are
+#: ``"job<N>"`` and can never collide with it, so one cached consumer
+#: list scores every arrival of a kind: the solver's rates are positional
+#: and :meth:`FleetBatch.app_total_rate` matches by id, so reading the
+#: placeholder's total is bitwise the score the real app would get.
+_CAND_APP = "\x00cand"
+
+#: Sentinel score of a candidate eliminated by the rate bound.
+_PRUNED = object()
+
+#: Machines of the current shard pool's fleet, indexed by mid. Installed
+#: by :func:`_shard_init` in each worker; under the ``fork`` start method
+#: the objects (and their memoised ``MachineTables``) are inherited, not
+#: pickled, so workers score against the exact same tables.
+_SHARD_MACHINES: List = []
+
+
+def _shard_init(machines) -> None:
+    global _SHARD_MACHINES
+    _SHARD_MACHINES = machines
+
+
+def _shard_score(task):
+    """Score one contiguous chunk of solve rows in a pool worker.
+
+    ``task`` is ``(rows, with_scales)`` with rows of ``(mid, consumers,
+    scale)``. Chunk composition cannot change any entry's floats (every
+    batch element solves exactly as it would alone), so sharded scores
+    merge bitwise-identical to the unsharded solve.
+    """
+    rows, with_scales = task
+    entries = [(_SHARD_MACHINES[mid], cons) for mid, cons, _sc in rows]
+    scales = [sc for _mid, _cons, sc in rows] if with_scales else None
+    fb = solve_batch_fleet_lazy(entries, capacity_scales=scales)
+    return [fb.app_total_rate(i, _CAND_APP) for i in range(len(rows))]
 
 #: Recovery policies for work interrupted by a machine crash (or a lost
 #: completion report): strand it, requeue it from scratch, or requeue it
@@ -93,6 +148,12 @@ class SchedulerConfig:
     #: Circuit-breaker cooldown after a restart (doubles per crash of the
     #: same machine); 0 disables the breaker.
     breaker_cooldown_s: float = 60.0
+    #: Process-pool width for ``scoring="incremental"`` solve sharding:
+    #: ``0`` resolves from ``BWAP_FLEET_SHARDS`` (default serial), ``1``
+    #: forces serial, ``N > 1`` forks a pool of N scorers. Purely an
+    #: execution knob — results are bitwise-identical at every setting,
+    #: so it is excluded from the run fingerprint.
+    shards: int = 0
 
     def __post_init__(self) -> None:
         if self.tick_s <= 0:
@@ -129,6 +190,8 @@ class SchedulerConfig:
             raise ValueError(
                 f"breaker_cooldown_s must be non-negative, got {self.breaker_cooldown_s}"
             )
+        if self.shards < 0:
+            raise ValueError(f"shards must be non-negative, got {self.shards}")
 
 
 @dataclass
@@ -174,12 +237,20 @@ class FleetResult:
     availability: float = 1.0
     #: Seconds each machine spent crashed within ``[0, end_time]``.
     machine_downtime: Dict[int, float] = field(default_factory=dict)
+    # ---- incremental-scheduling observability (defaults on exhaustive
+    # ---- runs, where every candidate is re-scored from scratch) ------- #
+    #: Candidate scores replayed from the version-keyed memo.
+    memo_hits: int = 0
+    #: Candidates eliminated by the residual-capacity rate bound.
+    bound_pruned: int = 0
+    #: Solve-shard pool width actually exercised (1 = serial).
+    shards_used: int = 1
 
 
 class _Pend:
     """One pending (or requeued) arrival awaiting placement."""
 
-    __slots__ = ("idx", "eligible_s", "attempts", "resume_frac")
+    __slots__ = ("idx", "eligible_s", "attempts", "resume_frac", "done")
 
     def __init__(self, idx: int, eligible_s: float):
         self.idx = idx
@@ -188,6 +259,77 @@ class _Pend:
         self.attempts = 0
         #: Checkpointed fraction of the original work already banked.
         self.resume_frac = 0.0
+        #: Retired from the pending queue (admitted); awaiting compaction.
+        self.done = False
+
+
+class _PendQueue:
+    """Order-preserving pending queue with O(1) amortised retirement.
+
+    A saturated trace keeps hundreds of thousands of arrivals pending,
+    and ``list.remove`` on every admit is O(queue) — the backlog shift
+    alone dominated million-arrival runs. Admits instead flag the record
+    ``done`` and the queue compacts lazily: leading retired records are
+    popped by advancing a head pointer (admits overwhelmingly retire
+    from the front of the queue, where the tick batches come from), and
+    the backing list is trimmed once the dead prefix dominates. Visible
+    order — arrivals and requeues append, retired records disappear — is
+    exactly that of the plain list this replaces, so every scoring mode
+    sees identical batches.
+    """
+
+    __slots__ = ("_items", "_head", "_retired")
+
+    def __init__(self) -> None:
+        self._items: List[_Pend] = []
+        self._head = 0  # leading retired records already skipped
+        self._retired = 0  # retired records at index >= _head
+
+    def __len__(self) -> int:
+        return len(self._items) - self._head - self._retired
+
+    def append(self, rec: _Pend) -> None:
+        if rec.done:
+            # A requeued record may still occupy its retired slot; drop
+            # the stale entry so its position becomes the queue tail.
+            self._compact()
+            rec.done = False
+        self._items.append(rec)
+
+    def retire(self, rec: _Pend) -> None:
+        rec.done = True
+        self._retired += 1
+
+    def _compact(self) -> None:
+        self._items = [
+            r for r in self._items[self._head:] if not r.done
+        ]
+        self._head = 0
+        self._retired = 0
+
+    def batch(self, limit: int, now: Optional[float] = None) -> List[_Pend]:
+        """First ``limit`` live records, optionally only those eligible
+        at ``now`` — the same records ``pending[:limit]`` (or the
+        eligibility-filtered slice) used to yield."""
+        items = self._items
+        h = self._head
+        n = len(items)
+        while h < n and items[h].done:
+            h += 1
+            self._retired -= 1
+        self._head = h
+        if h > 1024 and h * 2 >= n:
+            del items[:h]
+            self._head = 0
+        out: List[_Pend] = []
+        for idx in range(self._head, len(items)):
+            r = items[idx]
+            if r.done or (now is not None and r.eligible_s > now):
+                continue
+            out.append(r)
+            if len(out) >= limit:
+                break
+        return out
 
 
 def _trace_work_bytes(trace: ArrivalTrace, count: int) -> float:
@@ -222,6 +364,27 @@ class FleetScheduler:
         #: Worker-set choices keyed by (machine identity, occupied nodes,
         #: k) — pure and shared across ticks and same-class machines.
         self._worker_cache: Dict[Tuple[int, Tuple[int, ...], int], Tuple[int, ...]] = {}
+        # ---- incremental-scoring state (unused by exhaustive modes) --- #
+        #: Candidate (consumers, threads) templates keyed by (machine
+        #: identity, workers, arrival kind), built once under the
+        #: reserved ``_CAND_APP`` id. Consumers depend on the workload
+        #: only through fields ``work_scale`` never touches, so one
+        #: template serves every arrival of a kind across ticks and
+        #: same-class machines — for scoring, bounds, and (re-labelled
+        #: with the real app id) the fluid admit path.
+        self._cand_cache: Dict[Tuple[int, Tuple[int, ...], int], tuple] = {}
+        #: Per-machine score memo: mid -> (state_version, {(scale_key,
+        #: workers, kind): score}). The bucket is discarded whenever the
+        #: backend's version moved (versions are monotonic, never reused).
+        self._score_memo: Dict[int, Tuple[int, Dict[tuple, float]]] = {}
+        #: Empty-machine scores keyed by (machine identity, workers, kind,
+        #: scale_key) — independent of any state version, shared across
+        #: same-class machines, and valid forever.
+        self._empty_memo: Dict[tuple, float] = {}
+        #: Rate upper bounds, same key space as :attr:`_empty_memo`.
+        self._bound_memo: Dict[tuple, float] = {}
+        self._shard_count = 1
+        self._pool = None
         self.backends: List[MachineBackend] = [
             make_backend(
                 config.backend,
@@ -259,6 +422,299 @@ class FleetScheduler:
         return (len(backend.free_nodes()), score, -backend.mid, -k)
 
     # ------------------------------------------------------------------ #
+    # Incremental scoring
+    # ------------------------------------------------------------------ #
+
+    def _cand_template(self, backend: MachineBackend, workers, kind: int, p: int):
+        """Memoised candidate ``(consumers, threads)`` of (machine,
+        workers, kind) under the reserved ``_CAND_APP`` id. Exact across
+        arrivals of a kind: per-arrival work scaling touches only
+        ``work_bytes``, which the construction never reads."""
+        key = (id(backend.machine), workers, kind)
+        tpl = self._cand_cache.get(key)
+        if tpl is None:
+            cons, threads, _tpn = backend.candidate_consumers(
+                _CAND_APP, self.trace.workload(p), workers
+            )
+            tpl = (cons, threads)
+            self._cand_cache[key] = tpl
+        return tpl
+
+    def _cand_consumers(self, backend: MachineBackend, workers, kind: int, p: int):
+        return self._cand_template(backend, workers, kind, p)[0]
+
+    def _ensure_pool(self) -> bool:
+        if self._pool is not None:
+            return True
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:
+            return False  # platform without fork: stay serial
+        self._pool = ctx.Pool(
+            self._shard_count,
+            initializer=_shard_init,
+            initargs=([b.machine for b in self.backends],),
+        )
+        return True
+
+    def _close_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def _solve_rows(self, rows: List[tuple], with_scales: bool, inc: dict) -> List[float]:
+        """Scores for solve rows of ``(mid, consumers, scale)``, sharding
+        across the process pool when wide enough to pay for the round
+        trip. In-order chunk merge + per-entry batch independence keep
+        every path bitwise-identical."""
+        eff = self._shard_count
+        if eff > 1 and len(rows) >= 2 * eff and self._ensure_pool():
+            chunk = (len(rows) + eff - 1) // eff
+            tasks = [
+                (rows[o : o + chunk], with_scales)
+                for o in range(0, len(rows), chunk)
+            ]
+            inc["solver_calls"] += len(tasks)
+            inc["sharded"] = True
+            scores: List[float] = []
+            for part in self._pool.map(_shard_score, tasks, chunksize=1):
+                scores.extend(part)
+            return scores
+        entries = [(self.backends[mid].machine, cons) for mid, cons, _sc in rows]
+        scales_list = [sc for _mid, _cons, sc in rows] if with_scales else None
+        fb = solve_batch_fleet_lazy(entries, capacity_scales=scales_list)
+        inc["solver_calls"] += 1
+        return [fb.app_total_rate(i, _CAND_APP) for i in range(len(rows))]
+
+    def _tick_incremental(
+        self, batch, scales, now, health, placements, pending, inflight, inc
+    ) -> None:
+        """One tick of the memo+prune+shard decision procedure.
+
+        Replays the exhaustive greedy exactly: apps are processed in
+        arrival order, and each app's first-max ``_rank_key`` scan sees
+        the same candidate set with the same float scores — replayed
+        from the version-keyed memo, freshly solved, or absent only when
+        the rate bound proves the candidate loses to the incumbent.
+        Machines claimed by earlier admissions this tick are skipped at
+        gather time (the exhaustive path skips them at scan time), and
+        unclaimed machines' occupancy never mutates mid-tick, so worker
+        sets and free-node counts match too.
+        """
+        cfg = self.config
+        injector = self.injector
+        trace = self.trace
+        times = trace.times
+        kind_idx = trace.kind_idx
+        need_score = cfg.discipline != "first-fit"
+        rank_key = self._rank_key
+        empty_memo = self._empty_memo
+        eligible: List[MachineBackend] = []
+        for b in self.backends:
+            if injector is not None and (
+                injector.crashed_at(b.mid, now) or not health.allows(b.mid, now)
+            ):
+                continue
+            eligible.append(b)
+        resident_cache: Dict[int, list] = {}
+        workers_cache: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+        claimed: set = set()
+        memo_hits = 0
+
+        def pick_workers(b: MachineBackend, k: int) -> Tuple[int, ...]:
+            ck = (b.mid, k)
+            workers = workers_cache.get(ck)
+            if workers is None:
+                wk = (id(b.machine), b.occupied_nodes(), k)
+                workers = self._worker_cache.get(wk)
+                if workers is None:
+                    workers = pick_worker_nodes(b.machine, k, exclude=wk[1])
+                    self._worker_cache[wk] = workers
+                workers_cache[ck] = workers
+            return workers
+
+        def admit(r, best_b: MachineBackend, best_workers: Tuple[int, ...]) -> None:
+            p = r.idx
+            r.attempts += 1
+            if best_b.accepts_admit_template:
+                best_b.admit(
+                    trace.app_id(p),
+                    trace.workload(p),
+                    best_workers,
+                    float(times[p]),
+                    resume_frac=r.resume_frac,
+                    attempts=r.attempts,
+                    template=self._cand_template(
+                        best_b, best_workers, int(kind_idx[p]), p
+                    ),
+                )
+            else:
+                best_b.admit(
+                    trace.app_id(p),
+                    trace.workload(p),
+                    best_workers,
+                    float(times[p]),
+                    resume_frac=r.resume_frac,
+                    attempts=r.attempts,
+                )
+            claimed.add(best_b.mid)
+            placements.append((trace.app_id(p), best_b.mid, best_workers))
+            pending.retire(r)
+            if injector is not None:
+                inflight[trace.app_id(p)] = r
+
+        if not need_score:
+            # first-fit ranks on (-mid, -k) alone: the winner is the
+            # lowest-mid feasible machine at its smallest feasible worker
+            # count, found by an early-exit scan — zero solver work.
+            for r in batch:
+                best = None
+                for b in eligible:
+                    if b.mid in claimed:
+                        continue
+                    free_len = len(b.free_nodes())
+                    ks = [k for k in cfg.worker_counts if k <= free_len]
+                    if ks:
+                        best = (b, pick_workers(b, min(ks)))
+                        break
+                if best is None:
+                    continue
+                if injector is not None and injector.admission_rejected():
+                    inc["admission_rejections"] += 1
+                    continue
+                admit(r, best[0], best[1])
+            return
+
+        # --- Phase A: per-kind prefetch (memo replay + prune + ONE solve)
+        # Candidate scores depend on the arrival only through its kind,
+        # and no machine state changes until phase B admits — so one
+        # scan per *distinct kind* covers every app in the batch, and
+        # all cold survivors across kinds share a single (possibly
+        # sharded) batch solve. Each kind ends up with its full
+        # candidate list sorted by descending rank key.
+        last_at: Dict[int, int] = {}
+        for j, r in enumerate(batch):
+            last_at[int(kind_idx[r.idx])] = j
+        kind_cands: Dict[int, List[tuple]] = {}
+        rows: List[tuple] = []
+        meta: List[tuple] = []
+        for r in batch:
+            p = r.idx
+            kind = int(kind_idx[p])
+            if kind in kind_cands:
+                continue
+            cands: List[tuple] = []
+            kind_cands[kind] = cands
+            per_mid_best: Dict[int, tuple] = {}
+            cold: List[tuple] = []
+            for b in eligible:
+                mid = b.mid
+                free_len = len(b.free_nodes())
+                scale_key = (
+                    injector.scale_key_for(mid, now) if injector is not None else None
+                )
+                if b.num_live:
+                    memo = self._score_memo.get(mid)
+                    if memo is None or memo[0] != b.state_version:
+                        memo = (b.state_version, {})
+                        self._score_memo[mid] = memo
+                    bucket = memo[1]
+                    empty = False
+                else:
+                    bucket = empty_memo
+                    empty = True
+                for k in cfg.worker_counts:
+                    if k > free_len:
+                        continue
+                    workers = pick_workers(b, k)
+                    mkey = (
+                        (id(b.machine), workers, kind, scale_key)
+                        if empty
+                        else (scale_key, workers, kind)
+                    )
+                    score = bucket.get(mkey)
+                    if score is None:
+                        cold.append((b, workers, k, scale_key, bucket, mkey))
+                    else:
+                        memo_hits += 1
+                        key = rank_key(b, score, k)
+                        cands.append((key, b, workers))
+                        pb = per_mid_best.get(mid)
+                        if pb is None or key > pb:
+                            per_mid_best[mid] = key
+            if cold:
+                # Prune threshold: by the time the *last* app of this
+                # kind (batch index j_max) scans, at most j_max machines
+                # are claimed. A cold candidate whose bound key loses to
+                # the per-machine best hit of j_max + 1 DISTINCT machines
+                # therefore always has an unclaimed, listed candidate
+                # above it — dropping it can never change any app's
+                # first-max. (Bound keys upper-bound true keys, and the
+                # unique (mid, k) tail rules out ties.)
+                need = last_at[kind] + 1
+                if len(per_mid_best) > need:
+                    thresh = sorted(per_mid_best.values(), reverse=True)[need]
+                else:
+                    thresh = None
+                for b, workers, k, scale_key, bucket, mkey in cold:
+                    bkey = (id(b.machine), workers, kind, scale_key)
+                    bound = self._bound_memo.get(bkey)
+                    if bound is None:
+                        bound = candidate_rate_bound(
+                            b.machine,
+                            self._cand_consumers(b, workers, kind, p),
+                            capacity_scale=(
+                                scales.get(b.mid) if injector is not None else None
+                            ),
+                        )
+                        self._bound_memo[bkey] = bound
+                    if thresh is not None and rank_key(b, bound, k) < thresh:
+                        inc["bound_pruned"] += 1
+                        continue
+                    res = resident_cache.get(b.mid)
+                    if res is None:
+                        res = b.resident_consumers() if b.num_live else []
+                        resident_cache[b.mid] = res
+                    rows.append(
+                        (
+                            b.mid,
+                            res + self._cand_consumers(b, workers, kind, p),
+                            scales.get(b.mid) if injector is not None else None,
+                        )
+                    )
+                    meta.append((kind, b, workers, k, bucket, mkey))
+        if rows:
+            inc["entries_scored"] += len(rows)
+            for (kind, b, workers, k, bucket, mkey), score in zip(
+                meta, self._solve_rows(rows, injector is not None, inc)
+            ):
+                bucket[mkey] = score
+                kind_cands[kind].append((rank_key(b, score, k), b, workers))
+        for cands in kind_cands.values():
+            # Rank keys are unique, so the sort never compares backends.
+            cands.sort(key=lambda c: c[0], reverse=True)
+        # --- Phase B: sequential admission over the sorted lists --------
+        # The first unclaimed entry IS the exhaustive scan's first-max:
+        # unclaimed machines' state is frozen within the tick, claimed
+        # machines are skipped by both paths, and every unpruned
+        # candidate is listed.
+        for r in batch:
+            kind = int(kind_idx[r.idx])
+            best = None
+            for key, b, workers in kind_cands[kind]:
+                if b.mid not in claimed:
+                    best = (b, workers)
+                    break
+            if best is None:
+                continue  # no feasible machine this tick
+            if injector is not None and injector.admission_rejected():
+                inc["admission_rejections"] += 1
+                continue  # stays pending; retried next tick
+            admit(r, best[0], best[1])
+        inc["memo_hits"] += memo_hits
+
+    # ------------------------------------------------------------------ #
     # Main loop
     # ------------------------------------------------------------------ #
 
@@ -274,7 +730,7 @@ class FleetScheduler:
         n = len(self.trace)
         i = 0  # next arrival index
         now = 0.0
-        pending: List[_Pend] = []
+        pending = _PendQueue()
         placements: List[Tuple[str, int, Tuple[int, ...]]] = []
         ticks = 0
         solver_calls = 0
@@ -290,6 +746,22 @@ class FleetScheduler:
         seen_completions = [0] * len(self.backends)
         last_fault_t = -math.inf
         hb = Heartbeat(n, label="fleet")
+        shards = cfg.shards
+        if shards == 0:
+            try:
+                shards = max(1, int(os.environ.get("BWAP_FLEET_SHARDS", "1") or 1))
+            except ValueError:
+                shards = 1
+        self._shard_count = shards
+        #: Incremental-mode counters (stay zero on exhaustive runs).
+        inc = {
+            "solver_calls": 0,
+            "entries_scored": 0,
+            "memo_hits": 0,
+            "bound_pruned": 0,
+            "admission_rejections": 0,
+            "sharded": False,
+        }
 
         def requeue_or_strand(rec: _Pend, total_frac: float) -> None:
             """Decide the fate of interrupted work under the recovery
@@ -349,12 +821,19 @@ class FleetScheduler:
 
             state_allocs: Dict[int, Optional[Allocation]] = {}
             if injector is None:
-                batch = pending[: cfg.max_pending_per_tick]
+                batch = pending.batch(cfg.max_pending_per_tick)
             else:
-                batch = [r for r in pending if r.eligible_s <= now][
-                    : cfg.max_pending_per_tick
-                ]
-            if batch:
+                batch = pending.batch(cfg.max_pending_per_tick, now)
+            if batch and cfg.scoring == "incremental":
+                ticks += 1
+                # Delta path: memo-replay clean machines, bound-prune
+                # hopeless candidates, solve only the survivors. Leaves
+                # ``state_allocs`` empty — the fluid backend replays the
+                # identical allocation from its version-keyed solve slot.
+                self._tick_incremental(
+                    batch, scales, now, health, placements, pending, inflight, inc
+                )
+            elif batch:
                 ticks += 1
                 # --- Build the tick's entry list -------------------------
                 entries: List[tuple] = []  # (machine, consumers)
@@ -477,7 +956,7 @@ class FleetScheduler:
                     # admitted app, so it is the machine's new state.
                     state_allocs[mid] = get_alloc(row)
                     placements.append((app_id, mid, workers))
-                    pending.remove(r)
+                    pending.retire(r)
                     if injector is not None:
                         inflight[app_id] = r
 
@@ -537,6 +1016,10 @@ class FleetScheduler:
                     sum(len(b.completions) for b in self.backends), force=False
                 )
 
+        self._close_pool()
+        solver_calls += inc["solver_calls"]
+        entries_scored += inc["entries_scored"]
+        admission_rejections += inc["admission_rejections"]
         completions: List[FleetCompletion] = []
         for b in self.backends:
             completions.extend(b.completions)
@@ -580,4 +1063,7 @@ class FleetScheduler:
             completed_work_bytes=sum(c.work_bytes for c in completions),
             availability=availability,
             machine_downtime=machine_downtime,
+            memo_hits=inc["memo_hits"],
+            bound_pruned=inc["bound_pruned"],
+            shards_used=self._shard_count if inc["sharded"] else 1,
         )

@@ -18,6 +18,7 @@ from repro.memsim.flows import Consumer, consumer_from_placement
 from repro.memsim.contention import (
     Allocation,
     SolverCache,
+    candidate_rate_bound,
     consumers_fingerprint,
     isolated_bandwidth_matrix,
     proportional_profile,
@@ -65,6 +66,7 @@ __all__ = [
     "consumer_from_placement",
     "Allocation",
     "SolverCache",
+    "candidate_rate_bound",
     "consumers_fingerprint",
     "isolated_bandwidth_matrix",
     "proportional_profile",

@@ -542,6 +542,61 @@ def batch_coefficients(
     return A
 
 
+def candidate_rate_bound(
+    machine: Machine,
+    consumers: Sequence[Consumer],
+    mc_model: MCModel = DEFAULT_MC_MODEL,
+    *,
+    capacity_scale: Optional[np.ndarray] = None,
+) -> float:
+    """Upper bound on ``sum(rates)`` of ``consumers`` under *any* co-runners.
+
+    Soundness: progressive filling never lets a resource's load exceed its
+    capacity by more than the saturation slack (``_EPS * max(cap, 1)``),
+    and a consumer's rate never exceeds its demand. So for each consumer
+    ``j`` with per-unit-rate coefficient ``coef[r]`` at resource ``r``
+    (the same write-amplified MC share + route/ingress incidence
+    :func:`batch_coefficients` builds),
+
+        ``rate_j <= min(demand_j, min_{coef[r] > 0} slacked_cap[r] / coef[r])``
+
+    where the capacities are the *unloaded* optimistic ones: static
+    link/ingress capacities, and each MC at its best de-rating
+    (``eff_table(...).max(axis=1)`` — fewest readers), scaled by
+    ``capacity_scale`` when the machine is degraded. Co-runners only ever
+    *shrink* the feasible region (they add load and extra MC readers), so
+    the bound holds for every resident set — which is what lets the
+    incremental fleet scheduler prune a candidate against an incumbent
+    score without knowing the machine's residents.
+    """
+    t = machine_tables(machine)
+    caps_ub = t.static_caps.copy()
+    caps_ub[t.mc_rows] = t.eff_table(mc_model).max(axis=1)
+    if capacity_scale is not None:
+        scale = np.asarray(capacity_scale, dtype=float)
+        if scale.shape != (t.num_res,):
+            raise ValueError(
+                f"capacity_scale must have shape ({t.num_res},), got {scale.shape}"
+            )
+        caps_ub = caps_ub * scale
+    # Mirror the fill loop's saturation slack so float-rounding overshoot
+    # can never push a true score above the bound.
+    slacked = caps_ub + _EPS * np.maximum(caps_ub, 1.0)
+    total = 0.0
+    for c in consumers:
+        mix = np.asarray(c.mix, dtype=float)
+        write_scale = 1.0 + float(c.write_fraction) * (
+            mc_model.write_cost_factor - 1.0
+        )
+        coef = np.zeros(t.num_res)
+        coef[t.mc_rows] += mix * write_scale
+        coef += t.G_rest[c.node] @ mix
+        pos = coef > 0.0
+        cap_j = float(np.min(slacked[pos] / coef[pos])) if pos.any() else float("inf")
+        total += min(float(c.demand), cap_j)
+    return total * (1.0 + 1e-9) + 1e-12
+
+
 def _batch_setup(
     machine: Machine,
     node_idx: np.ndarray,

@@ -1,0 +1,257 @@
+"""Incremental fleet scheduling: memo replay, bound pruning, sharding.
+
+The load-bearing property: ``scoring="incremental"`` is a pure
+execution-strategy change. Placements, completions, SLO accounting, and
+utilisation are bitwise-identical to the exhaustive batched and scalar
+modes — across disciplines, under full-intensity chaos (including
+capacity-scaling brown-outs), and with sharded solve dispatch — because
+the memo replays the very floats the solver produced, the rate bound
+only ever discards candidates that provably lose the rank-key scan, and
+shard merges preserve entry order.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.fleet import (
+    FleetScheduler,
+    SchedulerConfig,
+    build_fleet,
+    chaos_plan,
+)
+from repro.fleet.backend import FlowBackend, make_backend
+from repro.fleet.scheduler import SCORINGS
+from repro.memsim import (
+    DEFAULT_MC_MODEL,
+    candidate_rate_bound,
+    solve,
+)
+from repro.topology import machine_a, machine_b
+from repro.workloads import TraceSpec, build_trace, trace_catalog
+
+_MIX = (("A", 2), ("B", 2), ("dual", 1), ("sym4", 1))
+
+
+def _run(scoring, *, discipline="best-rate", faults=None, shards=1,
+         arrivals=40, rate=2.0, backend="flow", seed=11):
+    fleet = build_fleet(_MIX)
+    trace = build_trace(
+        TraceSpec(kind="poisson", rate_per_s=rate, arrivals=arrivals, seed=7)
+    )
+    cfg = SchedulerConfig(
+        backend=backend, scoring=scoring, discipline=discipline,
+        tick_s=2.0, shards=shards,
+    )
+    return FleetScheduler(fleet, trace, cfg, seed=seed, faults=faults).run(
+        1_000_000.0
+    )
+
+
+def _assert_identical(a, b):
+    assert a.placements == b.placements
+    assert a.completions == b.completions
+    assert a.utilization == b.utilization
+    assert a.end_time == b.end_time
+    assert a.ticks == b.ticks
+    assert a.requeues == b.requeues
+    assert a.stranded == b.stranded
+    assert a.admission_rejections == b.admission_rejections
+    assert a.completions_lost == b.completions_lost
+    assert a.lost_work_bytes == b.lost_work_bytes
+    assert a.slo_violations == b.slo_violations
+    assert a.availability == b.availability
+    assert a.machine_downtime == b.machine_downtime
+
+
+# --------------------------------------------------------------------- #
+# Bitwise identity with the exhaustive modes
+# --------------------------------------------------------------------- #
+
+
+class TestIncrementalIdentity:
+    @pytest.mark.parametrize(
+        "discipline", ["best-rate", "first-fit", "least-loaded"]
+    )
+    def test_matches_batched_per_discipline(self, discipline):
+        _assert_identical(
+            _run("batched", discipline=discipline),
+            _run("incremental", discipline=discipline),
+        )
+
+    def test_matches_scalar(self):
+        _assert_identical(_run("scalar"), _run("incremental"))
+
+    def test_matches_batched_under_chaos(self):
+        """Full-intensity chaos: crashes, flaps, capacity-scaling
+        brown-outs, lossy admission — every memo/bound/fresh path runs
+        with per-machine capacity scales in play."""
+        plan = chaos_plan(6, horizon_s=40.0, seed=3)
+        assert any(d.capacity_scale < 1.0 for d in plan.degradations)
+        _assert_identical(
+            _run("batched", faults=plan), _run("incremental", faults=plan)
+        )
+
+    def test_matches_batched_sim_backend(self):
+        _assert_identical(
+            _run("batched", backend="sim", arrivals=8, rate=0.1),
+            _run("incremental", backend="sim", arrivals=8, rate=0.1),
+        )
+
+    def test_sharded_identical_and_reported(self):
+        base = _run("batched")
+        sharded = _run("incremental", shards=2)
+        _assert_identical(base, sharded)
+        if os.name == "posix":
+            assert sharded.shards_used == 2
+        assert _run("incremental").shards_used == 1
+
+    def test_replay_is_deterministic(self):
+        """Two independent schedulers (cold memo vs cold memo) and the
+        counters they report agree exactly."""
+        a = _run("incremental")
+        b = _run("incremental")
+        _assert_identical(a, b)
+        assert (a.memo_hits, a.bound_pruned, a.entries_scored) == (
+            b.memo_hits, b.bound_pruned, b.entries_scored
+        )
+
+
+# --------------------------------------------------------------------- #
+# Counters and controls
+# --------------------------------------------------------------------- #
+
+
+class TestIncrementalCounters:
+    def test_memo_and_pruning_cut_entries(self):
+        batched = _run("batched")
+        inc = _run("incremental")
+        assert inc.memo_hits > 0
+        assert inc.entries_scored < batched.entries_scored
+        # At most one batch solve per tick (batched mode's rate), and
+        # solve-free ticks skip even that.
+        assert inc.solver_calls <= batched.solver_calls
+
+    def test_first_fit_needs_no_solver(self):
+        inc = _run("incremental", discipline="first-fit")
+        assert inc.solver_calls == 0
+        assert inc.entries_scored == 0
+
+    def test_exhaustive_modes_report_neutral_counters(self):
+        batched = _run("batched")
+        assert batched.memo_hits == 0
+        assert batched.bound_pruned == 0
+        assert batched.shards_used == 1
+
+    def test_scoring_validation(self):
+        assert "incremental" in SCORINGS
+        with pytest.raises(ValueError, match="scoring"):
+            SchedulerConfig(scoring="bogus")
+
+    def test_shards_validation_and_env(self, monkeypatch):
+        with pytest.raises(ValueError, match="shards"):
+            SchedulerConfig(shards=-1)
+        monkeypatch.setenv("BWAP_FLEET_SHARDS", "2")
+        sharded = _run("incremental", shards=0)
+        _assert_identical(_run("batched"), sharded)
+        if os.name == "posix":
+            assert sharded.shards_used == 2
+        monkeypatch.setenv("BWAP_FLEET_SHARDS", "not-a-number")
+        fallback = _run("incremental", shards=0)
+        assert fallback.shards_used == 1
+
+
+# --------------------------------------------------------------------- #
+# The rate bound is a true upper bound (pruning soundness)
+# --------------------------------------------------------------------- #
+
+
+class TestCandidateRateBound:
+    @pytest.mark.parametrize("machine_fn", [machine_a, machine_b])
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_bound_dominates_any_resident_context(self, machine_fn, k):
+        """For every workload kind and worker set, the bound computed
+        from the empty machine upper-bounds the candidate's achieved
+        total rate in arbitrary resident company — the exact property
+        pruning relies on."""
+        machine = machine_fn()
+        backend = make_backend(
+            "flow", 0, "t", machine, policy="bwap", dwp=0.8, seed=1
+        )
+        catalog = trace_catalog(TraceSpec())
+        rng = np.random.default_rng(0)
+        workers = tuple(range(k))
+        for wl in catalog[:4]:
+            cons, _t, _tpn = backend.candidate_consumers("cand", wl, workers)
+            bound = candidate_rate_bound(machine, cons)
+            # Alone on the machine.
+            alone = solve(machine, cons, DEFAULT_MC_MODEL)
+            assert bound >= sum(
+                alone.rates[(c.app_id, c.node)] for c in cons
+            )
+            # Against two random residents.
+            residents = []
+            for i, other in enumerate(rng.choice(catalog, size=2)):
+                rcons, _t2, _tpn2 = backend.candidate_consumers(
+                    f"res{i}", other, workers
+                )
+                residents.extend(rcons)
+            crowded = solve(machine, residents + cons, DEFAULT_MC_MODEL)
+            assert bound >= sum(
+                crowded.rates[(c.app_id, c.node)] for c in cons
+            )
+
+    def test_bound_respects_capacity_scale(self):
+        machine = machine_a()
+        backend = make_backend(
+            "flow", 0, "t", machine, policy="bwap", dwp=0.8, seed=1
+        )
+        wl = trace_catalog(TraceSpec())[0]
+        cons, _t, _tpn = backend.candidate_consumers("cand", wl, (0,))
+        from repro.memsim.contention import machine_tables
+
+        num_res = len(machine_tables(machine).res_keys)
+        scale = np.full(num_res, 0.5)
+        scaled_bound = candidate_rate_bound(machine, cons, capacity_scale=scale)
+        scaled = solve(machine, cons, DEFAULT_MC_MODEL, capacity_scale=scale)
+        assert scaled_bound >= sum(
+            scaled.rates[(c.app_id, c.node)] for c in cons
+        )
+        assert scaled_bound <= candidate_rate_bound(machine, cons)
+
+
+# --------------------------------------------------------------------- #
+# State-version bookkeeping (what keys the memo)
+# --------------------------------------------------------------------- #
+
+
+class TestStateVersion:
+    def _backend(self) -> FlowBackend:
+        return make_backend(
+            "flow", 0, "t", machine_a(), policy="bwap", dwp=0.8, seed=1
+        )
+
+    def test_admit_finish_and_evict_bump(self):
+        b = self._backend()
+        wl = trace_catalog(TraceSpec())[0]
+        v0 = b.state_version
+        b.admit("a", wl, (0,), 0.0)
+        assert b.state_version > v0
+        v1 = b.state_version
+        b.advance(1e9)  # the app finishes: completion bumps again
+        assert b.state_version > v1
+        b.admit("b", wl, (0,), 0.0)
+        v2 = b.state_version
+        assert b.evict_all() and b.state_version > v2
+        v3 = b.state_version
+        assert not b.evict_all() and b.state_version == v3
+
+    def test_free_node_cache_tracks_versions(self):
+        b = self._backend()
+        free0 = b.free_nodes()
+        b.admit("a", trace_catalog(TraceSpec())[0], (0,), 0.0)
+        assert b.free_nodes() != free0
+        assert 0 in b.occupied_nodes()
